@@ -1,0 +1,101 @@
+// Ablation A6: which graph characteristics actually track the mixing time?
+// Dell'Amico et al. (the paper's ref [5]) concluded the mixing time "is not
+// associated with any of the known characteristics of the social graphs";
+// this paper's contribution is that *coreness structure* does track it.
+// We compute, per dataset analogue, mu alongside size, density, clustering,
+// diameter and the core-structure metrics, and report the Spearman rank
+// correlation of mu with each — size should correlate weakly, core
+// structure strongly.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cores/core_profile.hpp"
+#include "graph/stats.hpp"
+#include "markov/spectral.hpp"
+#include "report/table.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  const auto ranks = [n](const std::vector<double>& values) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return values[x] < values[y]; });
+    std::vector<double> rank(n);
+    for (std::size_t i = 0; i < n; ++i) rank[order[i]] = static_cast<double>(i);
+    return rank;
+  };
+  const std::vector<double> ra = ranks(a), rb = ranks(b);
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  return 1.0 - 6.0 * d2 / (static_cast<double>(n) * (n * n - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  using namespace sntrust;
+  bench::Section section{"Ablation A6: mu vs graph characteristics"};
+
+  std::vector<double> mu, size, density, clustering, diameter, degeneracy,
+      top_core_nu, core_count;
+
+  Table table{{"Dataset", "mu", "n", "avg deg", "clustering", "diam>=",
+               "degen", "nu@degen", "max cores"}};
+  for (const DatasetSpec& spec : all_datasets()) {
+    const Graph g =
+        spec.generate(bench::dataset_scale(0.25), bench::kBenchSeed);
+
+    SlemOptions slem_options;
+    slem_options.seed = bench::kBenchSeed;
+    const double m = second_largest_eigenvalue(g, slem_options).mu;
+    const DegreeStats degrees = degree_stats(g);
+    const double cluster = average_local_clustering(g);
+    const double diam = double_sweep_diameter(g);
+    const auto levels = core_profile(g);
+    const double degen = levels.empty() ? 0.0 : levels.back().k;
+    const double nu_top = levels.empty() ? 0.0 : levels.back().nu;
+    double cores = 1.0;
+    for (const CoreLevel& level : levels)
+      cores = std::max(cores, static_cast<double>(level.num_components));
+
+    mu.push_back(m);
+    size.push_back(g.num_vertices());
+    density.push_back(degrees.mean);
+    clustering.push_back(cluster);
+    diameter.push_back(diam);
+    degeneracy.push_back(degen);
+    top_core_nu.push_back(nu_top);
+    core_count.push_back(cores);
+
+    table.add_row({spec.name, fixed(m, 4), with_thousands(g.num_vertices()),
+                   fixed(degrees.mean, 1), fixed(cluster, 3),
+                   fixed(diam, 0), fixed(degen, 0), fixed(nu_top, 3),
+                   fixed(cores, 0)});
+    std::cerr << "  " << spec.id << " done\n";
+  }
+  table.print(std::cout);
+
+  Table correlations{{"characteristic", "Spearman rho with mu"}};
+  correlations.add_row({"graph size n", fixed(spearman(mu, size), 3)});
+  correlations.add_row({"average degree", fixed(spearman(mu, density), 3)});
+  correlations.add_row({"avg local clustering", fixed(spearman(mu, clustering), 3)});
+  correlations.add_row({"diameter (lower bound)", fixed(spearman(mu, diameter), 3)});
+  correlations.add_row({"degeneracy", fixed(spearman(mu, degeneracy), 3)});
+  correlations.add_row({"innermost-core nu", fixed(spearman(mu, top_core_nu), 3)});
+  correlations.add_row({"max #connected cores", fixed(spearman(mu, core_count), 3)});
+  std::cout << "\n";
+  correlations.print(std::cout);
+  std::cout << "Expected shape: |rho| small for size (Dell'Amico's negative "
+               "result), large positive for clustering and for core "
+               "fragmentation, and large for the core-structure metrics — "
+               "the paper's positive result relating mixing to coreness.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A5: the paper's Sec.-VI open problem — how the measured
+// properties evolve as a social graph grows. Replays a weak-trust
+// (preferential attachment) and a strict-trust (affiliation) growth process
+// and measures mu, degeneracy, core fragmentation and expansion at a
+// geometric ladder of snapshot sizes.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dynamic/evolution.hpp"
+#include "report/table.hpp"
+#include "util/env.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+void run(const std::string& title, const sntrust::GrowthTrace& trace,
+         const std::vector<sntrust::VertexId>& sizes) {
+  using namespace sntrust;
+  bench::Section section{title};
+  EvolutionOptions options;
+  options.seed = bench::kBenchSeed;
+  const auto points = measure_evolution(trace, sizes, options);
+  Table table{{"snapshot n", "LC nodes", "edges", "mu", "degeneracy",
+               "max cores", "min expansion"}};
+  for (const EvolutionPoint& p : points) {
+    table.add_row({with_thousands(p.snapshot_vertices),
+                   with_thousands(p.nodes), with_thousands(p.edges),
+                   fixed(p.mu, 4), std::to_string(p.degeneracy),
+                   std::to_string(p.max_core_count),
+                   fixed(p.min_expansion_factor, 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sntrust;
+  const auto n =
+      static_cast<VertexId>(12000 * bench_scale());
+  const std::vector<VertexId> sizes{n / 16, n / 8, n / 4, n / 2, n};
+
+  run("Ablation A5a: weak-trust growth (preferential attachment)",
+      preferential_attachment_trace(n, 5, bench::kBenchSeed), sizes);
+  run("Ablation A5b: strict-trust growth (regional affiliation)",
+      affiliation_trace(n, 24, 1.2, bench::kBenchSeed), sizes);
+
+  std::cout << "Expected shape: the weak-trust process keeps mu roughly flat "
+               "and a single core at every size (its character is stable "
+               "under growth); the strict-trust process stays near mu ~= 1 "
+               "and fragments into more cores as it grows — evolution "
+               "preserves, and sharpens, the social-model split.\n";
+  return 0;
+}

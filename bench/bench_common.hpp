@@ -1,0 +1,46 @@
+// Shared conventions for the reproduction benches: every bench generates its
+// datasets at `dataset_scale() * <paper scale>` and seeds all randomness
+// from kBenchSeed so output is reproducible run-to-run.
+//
+// SNTRUST_SCALE scales all workloads (default 1.0; use 0.1 for a smoke run,
+// >1 to push closer to the paper's raw sizes).
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "gen/datasets.hpp"
+#include "util/env.hpp"
+
+namespace sntrust::bench {
+
+inline constexpr std::uint64_t kBenchSeed = 20110621;  // ICDCS'11 week
+
+/// Additional scale factor the benches apply on top of each dataset's
+/// default_scale, so the default full suite finishes in minutes on one core.
+inline double dataset_scale(double base = 0.35) {
+  return base * bench_scale();
+}
+
+/// Banner + wall-clock scope timer.
+class Section {
+ public:
+  explicit Section(std::string title) : title_(std::move(title)) {
+    std::cout << "=== " << title_ << " ===\n";
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~Section() {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_);
+    std::cout << "[" << title_ << ": " << elapsed.count() << " ms]\n\n";
+  }
+  Section(const Section&) = delete;
+  Section& operator=(const Section&) = delete;
+
+ private:
+  std::string title_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sntrust::bench

@@ -1,0 +1,48 @@
+// Figure 3 (a)-(j): measured expansion of node sets of different sizes,
+// using every sampled node as a potential core — min / mean / max number of
+// neighbours per unique envelope size.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "expansion/expansion_profile.hpp"
+#include "report/table.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace sntrust;
+  bench::Section section{
+      "Figure 3: envelope expansion (neighbours vs set size)"};
+
+  for (const std::string& id : figure3_ids()) {
+    const DatasetSpec& spec = dataset_by_id(id);
+    const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
+    ExpansionOptions options;
+    // The paper's O(nm) full sweep is feasible for small graphs; sample
+    // sources on the larger ones.
+    options.num_sources = g.num_vertices() <= 5000 ? 0 : 2000;
+    options.seed = bench::kBenchSeed;
+    const ExpansionProfile profile = measure_expansion(g, options);
+
+    std::cout << "--- " << spec.name << " (n=" << g.num_vertices()
+              << ", sources=" << profile.sources_used
+              << ", depth<=" << profile.max_depth << ") ---\n";
+    Table table{{"set size |S|", "min |N(S)|", "mean |N(S)|", "max |N(S)|",
+                 "obs"}};
+    // Subsample the profile to <= 16 rows spread over the size range.
+    const std::size_t step =
+        std::max<std::size_t>(1, profile.points.size() / 16);
+    for (std::size_t i = 0; i < profile.points.size(); i += step) {
+      const ExpansionPoint& p = profile.points[i];
+      table.add_row({with_thousands(p.set_size),
+                     with_thousands(p.min_neighbors),
+                     fixed(p.mean_neighbors, 1),
+                     with_thousands(p.max_neighbors),
+                     with_thousands(p.observations)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "Expected shape (paper Fig. 3): neighbour counts rise to a "
+               "peak near moderate set sizes and fall as the envelope "
+               "swallows the graph; fast mixers peak higher and earlier.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Demonstrates the paper's central observation on controlled synthetic
+// graphs: community structure (not size) drives the mixing time and the
+// fragmentation of k-cores. Sweeps the inter-community edge probability of a
+// planted-partition graph while holding n and average degree fixed.
+//
+//   ./mixing_vs_structure [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "community/community.hpp"
+#include "cores/core_profile.hpp"
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "markov/mixing.hpp"
+#include "markov/spectral.hpp"
+#include "report/table.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sntrust;
+  const auto n = static_cast<VertexId>(argc > 1 ? std::atoi(argv[1]) : 2000);
+
+  std::cout << "Planted partition, n=" << n
+            << ", 10 communities, within-degree ~12, sweeping cross-community "
+               "degree:\n\n";
+
+  Table table{{"cross-degree", "mu", "T(eps=0.01)", "max cores",
+               "best conductance", "modularity (LP)"}};
+
+  for (const double cross_degree : {0.2, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double size = n / 10.0;
+    const double p_in = 12.0 / (size - 1);
+    const double p_out = cross_degree / (n - size);
+    const Graph g =
+        largest_component(planted_partition(n, 10, p_in, p_out, 99)).graph;
+
+    const double mu = second_largest_eigenvalue(g).mu;
+
+    MixingOptions mixing_options;
+    mixing_options.num_sources = 10;
+    mixing_options.max_walk_length = 200;
+    mixing_options.seed = 99;
+    const std::uint32_t t =
+        mixing_time_estimate(measure_mixing(g, mixing_options), 0.01);
+
+    std::uint32_t max_cores = 0;
+    for (const CoreLevel& level : core_profile(g))
+      max_cores = std::max(max_cores, level.num_components);
+
+    const SweepResult sweep = conductance_sweep(g, fiedler_vector(g));
+    const Partition partition = label_propagation(g);
+
+    table.add_row({fixed(cross_degree, 1), fixed(mu, 4),
+                   t == 0xFFFFFFFFu ? "> 200" : std::to_string(t),
+                   std::to_string(max_cores),
+                   fixed(sweep.best_conductance, 4),
+                   fixed(modularity(g, partition), 3)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nWeaker communities (more cross edges) -> smaller mu, faster "
+               "mixing, fewer isolated cores, higher conductance: the "
+               "paper's fast-mixing signature.\n";
+  return 0;
+}

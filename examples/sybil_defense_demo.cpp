@@ -1,0 +1,109 @@
+// Sybil defense demo: attach a Sybil region to a social graph with a limited
+// number of attack edges and run all five defenses side by side —
+// GateKeeper, SybilGuard, SybilLimit, SybilInfer-lite and SumUp — printing
+// honest acceptance and Sybils (or Sybil votes) admitted per attack edge.
+//
+//   ./sybil_defense_demo [dataset_id] [attack_edges]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "gen/datasets.hpp"
+#include "report/table.hpp"
+#include "sybil/attack.hpp"
+#include "sybil/community_defense.hpp"
+#include "sybil/gatekeeper.hpp"
+#include "sybil/sybilrank.hpp"
+#include "sybil/sumup.hpp"
+#include "sybil/sybilguard.hpp"
+#include "sybil/sybilinfer.hpp"
+#include "sybil/sybillimit.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sntrust;
+  const std::string id = argc > 1 ? argv[1] : "rice_grad";
+  const auto attack_edges =
+      static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 12);
+
+  const Graph honest = dataset_by_id(id).generate(1.0, 7);
+  AttackParams attack;
+  attack.num_sybils = std::max<VertexId>(50, honest.num_vertices() / 4);
+  attack.attack_edges = attack_edges;
+  attack.seed = 7;
+  const AttackedGraph attacked{honest, attack};
+
+  std::cout << "Honest region: " << with_thousands(attacked.num_honest())
+            << " nodes; Sybil region: " << with_thousands(attacked.num_sybils())
+            << " identities behind " << attack_edges << " attack edges.\n"
+            << "Unfiltered, each attack edge would admit "
+            << fixed(static_cast<double>(attacked.num_sybils()) / attack_edges, 1)
+            << " Sybils.\n\n";
+
+  Table table{{"defense", "honest accepted", "sybils per attack edge"}};
+
+  {
+    GateKeeperParams params;
+    params.num_distributers = 50;
+    params.f_admit = 0.1;
+    params.seed = 7;
+    const GateKeeperEvaluation eval = evaluate_gatekeeper(attacked, 0, params);
+    table.add_row({"GateKeeper (f=0.1)",
+                   fixed(100 * eval.honest_accept_fraction, 1) + "%",
+                   fixed(eval.sybils_per_attack_edge, 2)});
+  }
+  {
+    SybilGuardParams params;
+    params.seed = 7;
+    const PairwiseEvaluation eval =
+        evaluate_sybilguard(attacked, 0, params, 100, 100, 7);
+    table.add_row({"SybilGuard",
+                   fixed(100 * eval.honest_accept_fraction, 1) + "%",
+                   fixed(eval.sybils_per_attack_edge, 2)});
+  }
+  {
+    SybilLimitParams params;
+    params.seed = 7;
+    const PairwiseEvaluation eval =
+        evaluate_sybillimit(attacked, 0, params, 100, 100, 7);
+    table.add_row({"SybilLimit",
+                   fixed(100 * eval.honest_accept_fraction, 1) + "%",
+                   fixed(eval.sybils_per_attack_edge, 2)});
+  }
+  {
+    SybilInferParams params;
+    params.seed = 7;
+    const PairwiseEvaluation eval = evaluate_sybilinfer(attacked, 0, params);
+    table.add_row({"SybilInfer-lite",
+                   fixed(100 * eval.honest_accept_fraction, 1) + "%",
+                   fixed(eval.sybils_per_attack_edge, 2)});
+  }
+  {
+    const PairwiseEvaluation eval = evaluate_sybilrank(attacked, {0, 1, 2});
+    table.add_row({"SybilRank",
+                   fixed(100 * eval.honest_accept_fraction, 1) + "%",
+                   fixed(eval.sybils_per_attack_edge, 2)});
+  }
+  {
+    const PairwiseEvaluation eval = evaluate_community_defense(attacked, 0);
+    table.add_row({"Community expansion",
+                   fixed(100 * eval.honest_accept_fraction, 1) + "%",
+                   fixed(eval.sybils_per_attack_edge, 2)});
+  }
+  {
+    SumUpParams params;
+    params.seed = 7;
+    params.expected_votes = attacked.num_honest() / 10;
+    const SumUpEvaluation eval =
+        evaluate_sumup(attacked, 0, attacked.num_honest() / 10, params);
+    table.add_row({"SumUp (votes)",
+                   fixed(100 * eval.honest_collect_fraction, 1) + "%",
+                   fixed(eval.sybil_votes_per_attack_edge, 2)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nAll defenses bound admitted Sybils by the attack-edge "
+               "count, not the Sybil population — the property the paper's "
+               "measured graph characteristics underwrite.\n";
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Builds, tests, and regenerates every paper artifact, capturing the runs at
+# the repository root (the files EXPERIMENTS.md points to).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

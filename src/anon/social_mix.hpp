@@ -1,0 +1,59 @@
+// Anonymity of random-walk mixing over social graphs (Nagaraja, PETS 2007 —
+// the paper's ref [8]): a message forwarded along a w-step random walk is
+// anonymous to the extent that its exit distribution is close to uniform /
+// stationary. The natural metrics, both computed from the exact walk
+// distribution the markov substrate already evolves:
+//
+//   - Shannon entropy of the exit distribution (bits), against the maximum
+//     log2(n) — Serjantov–Danezis/Diaz-style anonymity-set size;
+//   - TVD to the stationary distribution (how much the exit point leaks
+//     about the entry point).
+//
+// Fast-mixing graphs reach near-maximal entropy within O(log n) hops; slow
+// graphs leak the sender's community for hundreds of hops — the reason the
+// paper's mixing measurements matter for anonymous communication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "markov/distribution.hpp"
+
+namespace sntrust {
+
+/// Shannon entropy (bits) of a distribution. Zero entries contribute zero.
+double shannon_entropy_bits(const Distribution& d);
+
+/// Anonymity trajectory of a walk-based mix starting at `sender`.
+struct AnonymityCurve {
+  VertexId sender = 0;
+  /// entropy_bits[t] for t = 0..max_hops.
+  std::vector<double> entropy_bits;
+  /// TVD to the stationary distribution per hop.
+  std::vector<double> leak_tvd;
+  /// Maximum achievable entropy, log2(n).
+  double max_entropy_bits = 0.0;
+};
+
+/// Exact anonymity trajectory via distribution evolution.
+/// Requires a connected graph (throws std::invalid_argument otherwise).
+AnonymityCurve measure_anonymity(const Graph& g, VertexId sender,
+                                 std::uint32_t max_hops, bool lazy = false);
+
+/// First hop count at which entropy reaches `fraction` of log2(n), averaged
+/// over `num_senders` sampled senders; UINT32_MAX entries mean never within
+/// max_hops.
+struct AnonymityTime {
+  std::vector<VertexId> senders;
+  std::vector<std::uint32_t> hops_to_target;
+  /// Mean over senders that reached the target (0 when none did).
+  double mean_hops = 0.0;
+  std::uint32_t reached = 0;
+};
+
+AnonymityTime anonymity_time(const Graph& g, double fraction,
+                             std::uint32_t num_senders,
+                             std::uint32_t max_hops, std::uint64_t seed);
+
+}  // namespace sntrust

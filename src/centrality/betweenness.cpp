@@ -1,0 +1,99 @@
+#include <stdexcept>
+
+#include "centrality/centrality.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+namespace {
+
+/// One Brandes accumulation pass from `source`: BFS computing shortest-path
+/// counts, then dependency back-propagation in reverse BFS order.
+void brandes_pass(const Graph& g, VertexId source, std::vector<double>& score,
+                  std::vector<std::uint32_t>& dist,
+                  std::vector<double>& sigma, std::vector<double>& delta,
+                  std::vector<VertexId>& order) {
+  constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+  const VertexId n = g.num_vertices();
+  std::fill(dist.begin(), dist.end(), kUnset);
+  std::fill(sigma.begin(), sigma.end(), 0.0);
+  std::fill(delta.begin(), delta.end(), 0.0);
+  order.clear();
+
+  dist[source] = 0;
+  sigma[source] = 1.0;
+  order.push_back(source);
+  const auto& offsets = g.offsets();
+  const auto& targets = g.targets();
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const VertexId v = order[head];
+    for (EdgeIndex e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const VertexId w = targets[e];
+      if (dist[w] == kUnset) {
+        dist[w] = dist[v] + 1;
+        order.push_back(w);
+      }
+      if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+    }
+  }
+
+  // Reverse order: accumulate dependencies.
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const VertexId w = order[i];
+    for (EdgeIndex e = offsets[w]; e < offsets[w + 1]; ++e) {
+      const VertexId v = targets[e];
+      if (dist[v] + 1 == dist[w])
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+    }
+    score[w] += delta[w];
+  }
+  (void)n;
+}
+
+std::vector<VertexId> pick_sources(const Graph& g,
+                                   const CentralityOptions& options) {
+  const VertexId n = g.num_vertices();
+  if (options.num_sources == 0 || options.num_sources >= n) {
+    std::vector<VertexId> all(n);
+    for (VertexId v = 0; v < n; ++v) all[v] = v;
+    return all;
+  }
+  Rng rng{options.seed};
+  return rng.sample_without_replacement(n, options.num_sources);
+}
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const Graph& g,
+                                           const CentralityOptions& options) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> score(n, 0.0);
+  if (n < 3) return score;
+
+  const std::vector<VertexId> sources = pick_sources(g, options);
+  std::vector<std::uint32_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  for (const VertexId s : sources)
+    brandes_pass(g, s, score, dist, sigma, delta, order);
+
+  // Each unordered pair was counted twice over a full sweep (once per
+  // endpoint as source); halve, and rescale sampled sweeps.
+  const double rescale =
+      static_cast<double>(n) / static_cast<double>(sources.size());
+  for (double& value : score) value *= 0.5 * rescale;
+  return score;
+}
+
+std::vector<double> normalize_betweenness(std::vector<double> values,
+                                          VertexId n) {
+  if (n < 3)
+    throw std::invalid_argument("normalize_betweenness: need n >= 3");
+  const double max_pairs =
+      static_cast<double>(n - 1) * static_cast<double>(n - 2) / 2.0;
+  for (double& value : values) value /= max_pairs;
+  return values;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,56 @@
+#include "centrality/centrality.hpp"
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+std::vector<double> closeness_centrality(const Graph& g,
+                                         const CentralityOptions& options) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> score(n, 0.0);
+  if (n < 2) return score;
+
+  if (options.num_sources == 0 || options.num_sources >= n) {
+    // Exact: closeness of v from its own BFS.
+    BfsRunner runner{g};
+    for (VertexId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) continue;
+      const BfsResult& result = runner.run(v);
+      std::uint64_t total = 0;
+      for (std::size_t level = 1; level < result.level_sizes.size(); ++level)
+        total += level * result.level_sizes[level];
+      if (total > 0)
+        score[v] = static_cast<double>(result.reached - 1) /
+                   static_cast<double>(total);
+    }
+    return score;
+  }
+
+  // Sampled: accumulate distances from each vertex to the sampled sources
+  // (BFS from a source gives the distance *to* every vertex; the graph is
+  // undirected so that is also the distance from the vertex to the source).
+  Rng rng{options.seed};
+  const std::vector<std::uint32_t> sources_raw = rng.sample_without_replacement(
+      n, options.num_sources);
+  std::vector<std::uint64_t> distance_sum(n, 0);
+  std::vector<std::uint32_t> reachable(n, 0);
+  BfsRunner runner{g};
+  for (const VertexId s : sources_raw) {
+    const BfsResult& result = runner.run(s);
+    for (VertexId v = 0; v < n; ++v) {
+      if (result.distances[v] == kUnreachable || v == s) continue;
+      distance_sum[v] += result.distances[v];
+      ++reachable[v];
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (distance_sum[v] == 0) continue;  // no reachable sampled source
+    // Inverse mean distance to the sampled sources (self excluded), the
+    // standard sampled-closeness estimator.
+    score[v] = static_cast<double>(reachable[v]) /
+               static_cast<double>(distance_sum[v]);
+  }
+  return score;
+}
+
+}  // namespace sntrust

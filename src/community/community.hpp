@@ -1,0 +1,81 @@
+// Community structure tooling (paper Sec. II discussion: Viswanath et al.
+// showed walk-based Sybil defenses are sensitive to community structure and
+// reduce to community detection around the trusted node).
+//
+// Provides: label propagation partitioning, modularity scoring, conductance,
+// and a spectral (Fiedler-ordering) conductance sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+/// A partition of vertices into communities 0..count-1.
+struct Partition {
+  std::vector<std::uint32_t> community_of;
+  std::uint32_t count = 0;
+
+  /// Sizes per community.
+  std::vector<std::uint64_t> sizes() const;
+};
+
+struct LabelPropagationOptions {
+  std::uint32_t max_rounds = 50;
+  std::uint64_t seed = 1;
+};
+
+/// Asynchronous label propagation; communities are relabeled densely.
+Partition label_propagation(const Graph& g,
+                            const LabelPropagationOptions& options = {});
+
+/// Newman modularity of a partition: Q = sum_c (e_c/m - (d_c/2m)^2).
+double modularity(const Graph& g, const Partition& partition);
+
+/// Conductance of the cut (S, V \ S): cut(S) / min(vol(S), vol(V\S)).
+/// `in_set[v]` marks membership of S. Throws if S or its complement is empty
+/// or the graph has no edges.
+double conductance(const Graph& g, const std::vector<std::uint8_t>& in_set);
+
+/// Approximate Fiedler vector (second eigenvector of the normalized
+/// Laplacian) by power iteration with deflation; returns per-vertex values.
+std::vector<double> fiedler_vector(const Graph& g,
+                                   std::uint32_t max_iterations = 1500,
+                                   std::uint64_t seed = 7);
+
+/// Sweep cut: order vertices by Fiedler value and return the minimum
+/// conductance over all prefixes (the spectral partitioning heuristic).
+struct SweepResult {
+  double best_conductance = 1.0;
+  std::uint64_t best_prefix = 0;     ///< |S| at the minimum
+  std::vector<double> curve;         ///< conductance per prefix size
+};
+SweepResult conductance_sweep(const Graph& g,
+                              const std::vector<double>& ordering_values);
+
+struct LouvainOptions {
+  std::uint32_t max_passes = 10;   ///< local-move passes per level
+  std::uint32_t max_levels = 10;   ///< coarsening levels
+  std::uint64_t seed = 1;
+};
+
+/// Louvain modularity optimization (local moves + graph coarsening),
+/// returning the flat partition of the original vertices. Deterministic in
+/// the seed (vertex visit order is shuffled per pass).
+Partition louvain(const Graph& g, const LouvainOptions& options = {});
+
+/// Cheeger's inequality: phi^2 / 2 <= 1 - lambda_2 <= 2 * phi, i.e. the
+/// spectral gap brackets the conductance. Given a measured lambda_2 (of the
+/// normalized adjacency), returns the implied [lower, upper] bounds on the
+/// graph's conductance — the bridge between the paper's spectral (Table I)
+/// and community (Sec. V) views.
+struct CheegerBounds {
+  double lower = 0.0;  ///< (1 - lambda_2) / 2
+  double upper = 1.0;  ///< sqrt(2 * (1 - lambda_2))
+};
+/// Preconditions: lambda_2 in [-1, 1].
+CheegerBounds cheeger_bounds(double lambda_2);
+
+}  // namespace sntrust

@@ -1,0 +1,68 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "community/community.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+std::vector<std::uint64_t> Partition::sizes() const {
+  std::vector<std::uint64_t> out(count, 0);
+  for (const std::uint32_t c : community_of) ++out[c];
+  return out;
+}
+
+Partition label_propagation(const Graph& g,
+                            const LabelPropagationOptions& options) {
+  const VertexId n = g.num_vertices();
+  Partition out;
+  out.community_of.resize(n);
+  for (VertexId v = 0; v < n; ++v) out.community_of[v] = v;
+  if (n == 0) return out;
+
+  Rng rng{options.seed};
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+
+  std::unordered_map<std::uint32_t, std::uint32_t> counts;
+  for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    rng.shuffle(std::span<VertexId>{order});
+    bool changed = false;
+    for (const VertexId v : order) {
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) continue;
+      counts.clear();
+      for (const VertexId w : nbrs) ++counts[out.community_of[w]];
+      // Most frequent neighbour label; ties broken toward keeping the
+      // current label, then lowest label id (deterministic given order).
+      std::uint32_t best_label = out.community_of[v];
+      std::uint32_t best_count = counts.count(best_label) != 0
+                                     ? counts[best_label]
+                                     : 0;
+      for (const auto& [label, count] : counts) {
+        if (count > best_count ||
+            (count == best_count && label < best_label)) {
+          best_label = label;
+          best_count = count;
+        }
+      }
+      if (best_label != out.community_of[v]) {
+        out.community_of[v] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Dense relabeling.
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (std::uint32_t& label : out.community_of) {
+    const auto [it, inserted] =
+        remap.emplace(label, static_cast<std::uint32_t>(remap.size()));
+    label = it->second;
+  }
+  out.count = static_cast<std::uint32_t>(remap.size());
+  return out;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "community/community.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+namespace {
+
+/// A weighted multigraph for the coarsening levels (the base level has unit
+/// weights; merged communities accumulate edge weights and self loops).
+struct WeightedGraph {
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency;
+  std::vector<double> self_loop;  ///< internal weight (counted once)
+  double total_weight = 0.0;      ///< sum of edge weights incl. self loops
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(adjacency.size());
+  }
+  double weighted_degree(std::uint32_t v) const {
+    double d = 2.0 * self_loop[v];
+    for (const auto& [w, weight] : adjacency[v]) d += weight;
+    return d;
+  }
+};
+
+WeightedGraph from_graph(const Graph& g) {
+  WeightedGraph out;
+  out.adjacency.resize(g.num_vertices());
+  out.self_loop.assign(g.num_vertices(), 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out.adjacency[v].reserve(g.degree(v));
+    for (const VertexId w : g.neighbors(v)) out.adjacency[v].push_back({w, 1.0});
+  }
+  out.total_weight = static_cast<double>(g.num_edges());
+  return out;
+}
+
+/// One level of local moves; returns the (dense) community assignment and
+/// whether anything moved.
+bool local_moves(const WeightedGraph& g, std::vector<std::uint32_t>& community,
+                 std::uint32_t max_passes, Rng& rng) {
+  const std::uint32_t n = g.size();
+  const double m2 = 2.0 * g.total_weight;
+  std::vector<double> community_degree(n, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v)
+    community_degree[community[v]] += g.weighted_degree(v);
+
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
+
+  bool any_move = false;
+  std::unordered_map<std::uint32_t, double> weight_to;
+  for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
+    rng.shuffle(std::span<std::uint32_t>{order});
+    bool moved = false;
+    for (const std::uint32_t v : order) {
+      const std::uint32_t current = community[v];
+      const double degree = g.weighted_degree(v);
+
+      weight_to.clear();
+      for (const auto& [w, weight] : g.adjacency[v])
+        if (w != v) weight_to[community[w]] += weight;
+
+      // Remove v from its community for the gain computation.
+      community_degree[current] -= degree;
+      const double base_links = weight_to.count(current) != 0
+                                    ? weight_to[current]
+                                    : 0.0;
+      double best_gain = base_links - community_degree[current] * degree / m2;
+      std::uint32_t best_community = current;
+      for (const auto& [c, links] : weight_to) {
+        if (c == current) continue;
+        const double gain = links - community_degree[c] * degree / m2;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_community = c;
+        }
+      }
+      community[v] = best_community;
+      community_degree[best_community] += degree;
+      if (best_community != current) moved = true;
+    }
+    any_move = any_move || moved;
+    if (!moved) break;
+  }
+  return any_move;
+}
+
+/// Coarsens by communities; fills `dense_of` with community -> new id.
+WeightedGraph coarsen(const WeightedGraph& g,
+                      const std::vector<std::uint32_t>& community,
+                      std::vector<std::uint32_t>& dense_of) {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (const std::uint32_t c : community)
+    remap.emplace(c, static_cast<std::uint32_t>(remap.size()));
+  dense_of.resize(community.size());
+  for (std::size_t v = 0; v < community.size(); ++v)
+    dense_of[v] = remap[community[v]];
+
+  WeightedGraph out;
+  out.adjacency.resize(remap.size());
+  out.self_loop.assign(remap.size(), 0.0);
+  out.total_weight = g.total_weight;
+
+  std::vector<std::unordered_map<std::uint32_t, double>> accumulate(
+      remap.size());
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    const std::uint32_t cv = dense_of[v];
+    out.self_loop[cv] += g.self_loop[v];
+    for (const auto& [w, weight] : g.adjacency[v]) {
+      const std::uint32_t cw = dense_of[w];
+      if (cv == cw) {
+        out.self_loop[cv] += 0.5 * weight;  // each end contributes half
+      } else {
+        accumulate[cv][cw] += weight;
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c < remap.size(); ++c) {
+    out.adjacency[c].assign(accumulate[c].begin(), accumulate[c].end());
+    std::sort(out.adjacency[c].begin(), out.adjacency[c].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Partition louvain(const Graph& g, const LouvainOptions& options) {
+  const VertexId n = g.num_vertices();
+  Partition result;
+  result.community_of.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.community_of[v] = v;
+  result.count = n;
+  if (n == 0 || g.num_edges() == 0) return result;
+
+  Rng rng{options.seed};
+  WeightedGraph level = from_graph(g);
+  // flat[v] = current community of original vertex v, expressed in the
+  // current level's node ids.
+  std::vector<std::uint32_t> flat(n);
+  for (VertexId v = 0; v < n; ++v) flat[v] = v;
+
+  for (std::uint32_t depth = 0; depth < options.max_levels; ++depth) {
+    std::vector<std::uint32_t> community(level.size());
+    for (std::uint32_t v = 0; v < level.size(); ++v) community[v] = v;
+    const bool moved = local_moves(level, community, options.max_passes, rng);
+    if (!moved) break;
+    std::vector<std::uint32_t> dense_of;
+    level = coarsen(level, community, dense_of);
+    for (VertexId v = 0; v < n; ++v) flat[v] = dense_of[community[flat[v]]];
+    if (level.size() <= 1) break;
+  }
+
+  // Dense relabel of the final assignment.
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto [it, inserted] =
+        remap.emplace(flat[v], static_cast<std::uint32_t>(remap.size()));
+    result.community_of[v] = it->second;
+  }
+  result.count = static_cast<std::uint32_t>(remap.size());
+  return result;
+}
+
+}  // namespace sntrust

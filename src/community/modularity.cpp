@@ -1,0 +1,54 @@
+#include <stdexcept>
+
+#include "community/community.hpp"
+
+namespace sntrust {
+
+double modularity(const Graph& g, const Partition& partition) {
+  if (partition.community_of.size() != g.num_vertices())
+    throw std::invalid_argument("modularity: partition size mismatch");
+  const double m = static_cast<double>(g.num_edges());
+  if (m == 0.0) throw std::invalid_argument("modularity: graph has no edges");
+
+  std::vector<double> internal(partition.count, 0.0);  // e_c (edges inside)
+  std::vector<double> volume(partition.count, 0.0);    // d_c (degree sum)
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t c = partition.community_of[v];
+    volume[c] += static_cast<double>(g.degree(v));
+    for (const VertexId w : g.neighbors(v))
+      if (v < w && partition.community_of[w] == c) internal[c] += 1.0;
+  }
+
+  double q = 0.0;
+  for (std::uint32_t c = 0; c < partition.count; ++c) {
+    const double fraction = internal[c] / m;
+    const double expected = volume[c] / (2.0 * m);
+    q += fraction - expected * expected;
+  }
+  return q;
+}
+
+double conductance(const Graph& g, const std::vector<std::uint8_t>& in_set) {
+  if (in_set.size() != g.num_vertices())
+    throw std::invalid_argument("conductance: mask size mismatch");
+  if (g.num_edges() == 0)
+    throw std::invalid_argument("conductance: graph has no edges");
+
+  std::uint64_t cut = 0;
+  std::uint64_t vol_in = 0;
+  std::uint64_t vol_out = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t deg = g.degree(v);
+    if (in_set[v]) vol_in += deg;
+    else vol_out += deg;
+    if (!in_set[v]) continue;
+    for (const VertexId w : g.neighbors(v))
+      if (!in_set[w]) ++cut;
+  }
+  if (vol_in == 0 || vol_out == 0)
+    throw std::invalid_argument("conductance: S and its complement must be non-empty in volume");
+  return static_cast<double>(cut) /
+         static_cast<double>(std::min(vol_in, vol_out));
+}
+
+}  // namespace sntrust

@@ -1,0 +1,75 @@
+#include "cores/core_profile.hpp"
+
+#include <algorithm>
+
+namespace sntrust {
+
+std::vector<CoreLevel> core_profile(const Graph& g) {
+  return core_profile(g, core_decomposition(g));
+}
+
+std::vector<CoreLevel> core_profile(const Graph& g,
+                                    const CoreDecomposition& d) {
+  const VertexId n = g.num_vertices();
+  const double edge_total = static_cast<double>(g.num_edges());
+  std::vector<CoreLevel> levels;
+  if (n == 0 || d.degeneracy == 0) return levels;
+
+  const auto& offsets = g.offsets();
+  const auto& targets = g.targets();
+
+  // Reusable scratch: component labels via epoch marking per level.
+  std::vector<std::uint32_t> label(n);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+
+  levels.reserve(d.degeneracy);
+  for (std::uint32_t k = 1; k <= d.degeneracy; ++k) {
+    CoreLevel level;
+    level.k = k;
+
+    // Count vertices and edges inside the core in one adjacency sweep.
+    std::uint64_t half_edges = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (d.coreness[v] < k) continue;
+      ++level.vertices;
+      for (EdgeIndex e = offsets[v]; e < offsets[v + 1]; ++e)
+        if (d.coreness[targets[e]] >= k) ++half_edges;
+    }
+    level.edges = half_edges / 2;
+    level.nu = static_cast<double>(level.vertices) / n;
+    level.tau = edge_total == 0.0
+                    ? 0.0
+                    : static_cast<double>(level.edges) / edge_total;
+
+    // Connected components restricted to the core.
+    std::fill(label.begin(), label.end(), 0u);
+    std::uint32_t next_label = 0;
+    for (VertexId s = 0; s < n; ++s) {
+      if (d.coreness[s] < k || label[s] != 0) continue;
+      ++next_label;
+      std::uint64_t size = 0;
+      queue.clear();
+      queue.push_back(s);
+      label[s] = next_label;
+      std::size_t head = 0;
+      while (head < queue.size()) {
+        const VertexId u = queue[head++];
+        ++size;
+        for (EdgeIndex e = offsets[u]; e < offsets[u + 1]; ++e) {
+          const VertexId w = targets[e];
+          if (d.coreness[w] >= k && label[w] == 0) {
+            label[w] = next_label;
+            queue.push_back(w);
+          }
+        }
+      }
+      level.largest_component = std::max(level.largest_component, size);
+    }
+    level.num_components = next_label;
+    levels.push_back(level);
+  }
+  return levels;
+}
+
+}  // namespace sntrust

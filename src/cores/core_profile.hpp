@@ -1,0 +1,33 @@
+// Per-k core structure profile (paper Fig. 5): node-relative core size
+// nu_k = n_k / n, edge-relative size tau_k = m_k / m, and the number of
+// connected components of the k-core ("number of cores") as k grows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cores/kcore.hpp"
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+/// Structure of the k-core for one k.
+struct CoreLevel {
+  std::uint32_t k = 0;
+  std::uint64_t vertices = 0;      ///< n_k: |V| of the (relaxed) k-core G~_k
+  std::uint64_t edges = 0;         ///< m_k
+  double nu = 0.0;                 ///< n_k / n
+  double tau = 0.0;                ///< m_k / m
+  std::uint32_t num_components = 0;  ///< number of connected k-cores
+  std::uint64_t largest_component = 0;  ///< |V| of the largest connected core
+};
+
+/// Profiles every k from 1 to the degeneracy. O(degeneracy * m) total: one
+/// pass of component counting per level over the shrinking core subgraph.
+std::vector<CoreLevel> core_profile(const Graph& g);
+
+/// As above but reusing an existing decomposition.
+std::vector<CoreLevel> core_profile(const Graph& g,
+                                    const CoreDecomposition& d);
+
+}  // namespace sntrust

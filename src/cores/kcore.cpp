@@ -1,0 +1,95 @@
+#include "cores/kcore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sntrust {
+
+std::vector<VertexId> CoreDecomposition::core_members(std::uint32_t k) const {
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < coreness.size(); ++v)
+    if (coreness[v] >= k) members.push_back(v);
+  return members;
+}
+
+CoreDecomposition core_decomposition(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  CoreDecomposition out;
+  out.coreness.assign(n, 0);
+  out.removal_order.reserve(n);
+  if (n == 0) return out;
+
+  // Bucket sort vertices by current degree (Batagelj–Zaversnik layout):
+  // vert[] holds vertices sorted by degree, pos[] the index of each vertex in
+  // vert[], bin[d] the start index of degree-d vertices.
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  std::vector<std::uint32_t> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v]];
+  std::uint32_t start = 0;
+  for (std::uint32_t d = 0; d <= max_degree; ++d) {
+    const std::uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  bin[max_degree + 1] = start;
+
+  std::vector<VertexId> vert(n);
+  std::vector<std::uint32_t> pos(n);
+  {
+    std::vector<std::uint32_t> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]];
+      vert[pos[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+
+  const auto& offsets = g.offsets();
+  const auto& targets = g.targets();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const VertexId v = vert[i];
+    out.coreness[v] = degree[v];
+    out.degeneracy = std::max(out.degeneracy, degree[v]);
+    out.removal_order.push_back(v);
+    for (EdgeIndex e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const VertexId u = targets[e];
+      if (degree[u] <= degree[v]) continue;  // u already peeled or tied
+      // Move u to the front of its degree bucket, then decrement.
+      const std::uint32_t du = degree[u];
+      const std::uint32_t pu = pos[u];
+      const std::uint32_t pw = bin[du];
+      const VertexId w = vert[pw];
+      if (u != w) {
+        pos[u] = pw;
+        vert[pw] = u;
+        pos[w] = pu;
+        vert[pu] = w;
+      }
+      ++bin[du];
+      --degree[u];
+    }
+  }
+  return out;
+}
+
+std::vector<double> coreness_ecdf(const CoreDecomposition& d) {
+  const std::size_t n = d.coreness.size();
+  if (n == 0) throw std::invalid_argument("coreness_ecdf: empty decomposition");
+  std::vector<std::uint64_t> counts(d.degeneracy + 1, 0);
+  for (const std::uint32_t c : d.coreness) ++counts[c];
+  std::vector<double> ecdf(d.degeneracy + 1, 0.0);
+  std::uint64_t cumulative = 0;
+  for (std::uint32_t k = 0; k <= d.degeneracy; ++k) {
+    cumulative += counts[k];
+    ecdf[k] = static_cast<double>(cumulative) / static_cast<double>(n);
+  }
+  return ecdf;
+}
+
+}  // namespace sntrust

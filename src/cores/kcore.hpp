@@ -1,0 +1,37 @@
+// Graph degeneracy: k-core decomposition (paper Sec. III-B).
+//
+// Implements the Batagelj–Zaversnik O(m) bucket algorithm the paper cites
+// ([1]): iteratively remove the minimum-degree vertex; the coreness of a
+// vertex is its degree at removal time, and the k-core is the set of
+// vertices with coreness >= k.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+struct CoreDecomposition {
+  /// coreness[v] = largest k such that v belongs to a k-core.
+  std::vector<std::uint32_t> coreness;
+  /// Degeneracy of the graph = max coreness (0 for edgeless graphs).
+  std::uint32_t degeneracy = 0;
+  /// Vertices in removal order (non-decreasing coreness) — a degeneracy
+  /// ordering, useful for other algorithms.
+  std::vector<VertexId> removal_order;
+
+  /// Members of the (possibly disconnected) k-core G~_k: vertices with
+  /// coreness >= k, ascending ids.
+  std::vector<VertexId> core_members(std::uint32_t k) const;
+};
+
+/// O(m) core decomposition.
+CoreDecomposition core_decomposition(const Graph& g);
+
+/// Empirical CDF of coreness: point (k, fraction of vertices with
+/// coreness <= k) for k = 0..degeneracy (Fig. 2 of the paper).
+std::vector<double> coreness_ecdf(const CoreDecomposition& d);
+
+}  // namespace sntrust

@@ -1,0 +1,154 @@
+#include "dht/social_dht.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "markov/walker.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+namespace {
+
+std::uint64_t key_hash(VertexId v) {
+  std::uint64_t z = static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SocialDht::SocialDht(const Graph& g, const SocialDhtParams& params,
+                     std::vector<std::uint8_t> is_sybil)
+    : graph_(g), params_(params), is_sybil_(std::move(is_sybil)) {
+  const VertexId n = g.num_vertices();
+  if (n < 2) throw std::invalid_argument("SocialDht: graph too small");
+  if (!is_sybil_.empty() && is_sybil_.size() != n)
+    throw std::invalid_argument("SocialDht: is_sybil size mismatch");
+  if (params_.table_size == 0 || params_.lookup_fanout == 0)
+    throw std::invalid_argument("SocialDht: table_size and fanout must be > 0");
+  if (params_.walk_length == 0) {
+    params_.walk_length = 3;
+    for (VertexId x = n; x > 1; x /= 2) ++params_.walk_length;
+  }
+
+  // Global ring order of keys: ring_rank_[v] = position of v's key among all
+  // keys. Each node stores the records of the `successors` keys following
+  // its own key (Whānau's successor lists), so a finger answers a lookup for
+  // key k iff k's owner lies within its successor window.
+  ring_rank_.resize(n);
+  {
+    std::vector<std::pair<std::uint64_t, VertexId>> order;
+    order.reserve(n);
+    for (VertexId v = 0; v < n; ++v) order.push_back({key_hash(v), v});
+    std::sort(order.begin(), order.end());
+    for (VertexId i = 0; i < n; ++i) ring_rank_[order[i].second] = i;
+  }
+  successors_ = std::max<std::uint32_t>(
+      2, 2 * n / std::min<std::uint32_t>(n, params_.table_size));
+
+  fingers_.resize(n);
+  RandomWalker walker{g, params_.seed};
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.degree(v) == 0) continue;
+    auto& table = fingers_[v];
+    table.reserve(params_.table_size);
+    for (std::uint32_t i = 0; i < params_.table_size; ++i) {
+      const VertexId endpoint = walker.walk_endpoint(v, params_.walk_length);
+      table.push_back({ring_rank_[endpoint], endpoint});
+    }
+    std::sort(table.begin(), table.end());
+  }
+}
+
+std::uint64_t SocialDht::key_of(VertexId v) const {
+  if (v >= graph_.num_vertices())
+    throw std::out_of_range("SocialDht::key_of: vertex out of range");
+  return key_hash(v);
+}
+
+bool SocialDht::lookup(VertexId source, VertexId target) const {
+  const VertexId n = graph_.num_vertices();
+  if (source >= n || target >= n)
+    throw std::out_of_range("SocialDht::lookup: vertex out of range");
+  const std::uint64_t target_rank = ring_rank_[target];
+  const auto& table = fingers_[source];
+  if (table.empty()) return false;
+
+  // Consult the fanout fingers nearest *preceding* the key on the ring
+  // (their successor windows extend clockwise and may cover it). Sybil
+  // fingers answer uselessly.
+  auto it = std::upper_bound(table.begin(), table.end(),
+                             std::make_pair(target_rank, VertexId{0xFFFFFFFF}));
+  std::size_t index = it == table.begin()
+                          ? table.size() - 1
+                          : static_cast<std::size_t>(it - table.begin()) - 1;
+  for (std::uint32_t i = 0; i < params_.lookup_fanout && i < table.size();
+       ++i) {
+    const auto& [finger_rank, finger] =
+        table[(index + table.size() - i) % table.size()];
+    if (!is_sybil_.empty() && is_sybil_[finger]) continue;
+    // Clockwise rank distance from the finger's own key to the target key;
+    // within its successor window means it stores the record.
+    const std::uint64_t gap = (target_rank + n - finger_rank) % n;
+    if (gap <= successors_) return true;
+  }
+  return false;
+}
+
+double SocialDht::lookup_success_rate(std::uint32_t trials,
+                                      std::uint64_t seed) const {
+  if (trials == 0) return 0.0;
+  Rng rng{seed};
+  std::vector<VertexId> honest;
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v)
+    if ((is_sybil_.empty() || !is_sybil_[v]) && graph_.degree(v) > 0)
+      honest.push_back(v);
+  if (honest.size() < 2) return 0.0;
+  std::uint32_t ok = 0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const VertexId source = honest[rng.uniform(honest.size())];
+    const VertexId target = honest[rng.uniform(honest.size())];
+    if (lookup(source, target)) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+double SocialDht::table_poison_rate() const {
+  if (is_sybil_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t poisoned = 0;
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    if (is_sybil_[v]) continue;
+    for (const auto& [rank, finger] : fingers_[v]) {
+      ++total;
+      if (is_sybil_[finger]) ++poisoned;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(poisoned) / static_cast<double>(total);
+}
+
+SocialDhtEvaluation evaluate_social_dht(const Graph& honest,
+                                        const AttackedGraph& attacked,
+                                        const SocialDhtParams& params,
+                                        std::uint32_t trials) {
+  SocialDhtEvaluation eval;
+  {
+    const SocialDht clean{honest, params};
+    eval.clean_success = clean.lookup_success_rate(trials, params.seed ^ 1);
+  }
+  {
+    std::vector<std::uint8_t> labels(attacked.graph().num_vertices(), 0);
+    for (VertexId v = attacked.num_honest();
+         v < attacked.graph().num_vertices(); ++v)
+      labels[v] = 1;
+    const SocialDht dht{attacked.graph(), params, std::move(labels)};
+    eval.attacked_success = dht.lookup_success_rate(trials, params.seed ^ 1);
+    eval.poison_rate = dht.table_poison_rate();
+  }
+  return eval;
+}
+
+}  // namespace sntrust

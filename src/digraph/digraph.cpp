@@ -1,0 +1,184 @@
+#include "digraph/digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+namespace {
+
+/// Builds one CSR side (offsets/targets) from (source, target) pairs,
+/// deduplicating and dropping self loops.
+void build_side(VertexId n, std::vector<std::pair<VertexId, VertexId>> pairs,
+                std::vector<EdgeIndex>& offsets,
+                std::vector<VertexId>& targets) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [s, t] : pairs) ++offsets[s + 1];
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  targets.resize(pairs.size());
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [s, t] : pairs) targets[cursor[s]++] = t;
+}
+
+}  // namespace
+
+Digraph::Digraph(VertexId num_vertices, const std::vector<Edge>& arcs) {
+  std::vector<std::pair<VertexId, VertexId>> forward, backward;
+  forward.reserve(arcs.size());
+  backward.reserve(arcs.size());
+  for (const Edge& a : arcs) {
+    if (a.u >= num_vertices || a.v >= num_vertices)
+      throw std::out_of_range("Digraph: arc endpoint out of range");
+    if (a.u == a.v) continue;
+    forward.push_back({a.u, a.v});
+    backward.push_back({a.v, a.u});
+  }
+  build_side(num_vertices, std::move(forward), out_offsets_, out_targets_);
+  build_side(num_vertices, std::move(backward), in_offsets_, in_targets_);
+}
+
+void Digraph::check_vertex(VertexId v) const {
+  if (v >= num_vertices())
+    throw std::out_of_range("Digraph: vertex out of range");
+}
+
+VertexId Digraph::out_degree(VertexId v) const {
+  check_vertex(v);
+  return static_cast<VertexId>(out_offsets_[v + 1] - out_offsets_[v]);
+}
+
+VertexId Digraph::in_degree(VertexId v) const {
+  check_vertex(v);
+  return static_cast<VertexId>(in_offsets_[v + 1] - in_offsets_[v]);
+}
+
+std::span<const VertexId> Digraph::successors(VertexId v) const {
+  check_vertex(v);
+  return {out_targets_.data() + out_offsets_[v],
+          out_targets_.data() + out_offsets_[v + 1]};
+}
+
+std::span<const VertexId> Digraph::predecessors(VertexId v) const {
+  check_vertex(v);
+  return {in_targets_.data() + in_offsets_[v],
+          in_targets_.data() + in_offsets_[v + 1]};
+}
+
+Graph Digraph::undirected() const {
+  GraphBuilder builder{num_vertices()};
+  builder.reserve(num_arcs());
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    for (const VertexId w : successors(v)) builder.add_edge(v, w);
+  return builder.build();
+}
+
+Digraph orient_graph(const Graph& g, double reciprocal_p,
+                     std::uint64_t seed) {
+  if (reciprocal_p < 0.0 || reciprocal_p > 1.0)
+    throw std::invalid_argument("orient_graph: reciprocal_p must be in [0,1]");
+  Rng rng{seed};
+  std::vector<Edge> arcs;
+  arcs.reserve(g.num_edges() * 2);
+  for (const Edge& e : g.edges()) {
+    if (rng.bernoulli(reciprocal_p)) {
+      arcs.push_back({e.u, e.v});
+      arcs.push_back({e.v, e.u});
+    } else if (rng.bernoulli(0.5)) {
+      arcs.push_back({e.u, e.v});
+    } else {
+      arcs.push_back({e.v, e.u});
+    }
+  }
+  return Digraph{g.num_vertices(), arcs};
+}
+
+void step_directed(const Digraph& g, const std::vector<double>& p,
+                   std::vector<double>& out, double teleport) {
+  const VertexId n = g.num_vertices();
+  if (p.size() != n)
+    throw std::invalid_argument("step_directed: size mismatch");
+  if (teleport < 0.0 || teleport >= 1.0)
+    throw std::invalid_argument("step_directed: teleport must be in [0,1)");
+  out.assign(n, 0.0);
+  double dangling_mass = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (p[v] == 0.0) continue;
+    const auto succ = g.successors(v);
+    if (succ.empty()) {
+      dangling_mass += p[v];
+      continue;
+    }
+    const double share = (1.0 - teleport) * p[v] / succ.size();
+    for (const VertexId w : succ) out[w] += share;
+  }
+  // Teleport fraction of routed mass + all dangling mass spread uniformly.
+  double routed = 0.0;
+  for (VertexId v = 0; v < n; ++v)
+    if (!g.successors(v).empty()) routed += p[v];
+  const double uniform =
+      (teleport * routed + dangling_mass) / static_cast<double>(n);
+  for (VertexId v = 0; v < n; ++v) out[v] += uniform;
+}
+
+std::vector<double> directed_stationary(const Digraph& g, double teleport,
+                                        double tolerance,
+                                        std::uint32_t max_iterations) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("directed_stationary: empty graph");
+  if (!(teleport > 0.0) || teleport >= 1.0)
+    throw std::invalid_argument(
+        "directed_stationary: teleport must be in (0,1)");
+  std::vector<double> p(n, 1.0 / n), next(n);
+  for (std::uint32_t it = 0; it < max_iterations; ++it) {
+    step_directed(g, p, next, teleport);
+    double distance = 0.0;
+    for (VertexId v = 0; v < n; ++v) distance += std::abs(next[v] - p[v]);
+    p.swap(next);
+    if (0.5 * distance <= tolerance) break;
+  }
+  return p;
+}
+
+DirectedMixingCurves measure_directed_mixing(const Digraph& g,
+                                             double teleport,
+                                             std::uint32_t num_sources,
+                                             std::uint32_t max_walk_length,
+                                             std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  if (n == 0 || num_sources == 0)
+    throw std::invalid_argument(
+        "measure_directed_mixing: need vertices and sources");
+  Rng rng{seed};
+  DirectedMixingCurves out;
+  out.sources = rng.sample_without_replacement(
+      n, std::min<std::uint32_t>(num_sources, n));
+  const std::vector<double> pi = directed_stationary(g, teleport);
+
+  std::vector<double> p(n), buffer(n);
+  const auto tvd = [&](const std::vector<double>& a) {
+    double sum = 0.0;
+    for (VertexId v = 0; v < n; ++v) sum += std::abs(a[v] - pi[v]);
+    return 0.5 * sum;
+  };
+  for (const VertexId source : out.sources) {
+    std::fill(p.begin(), p.end(), 0.0);
+    p[source] = 1.0;
+    std::vector<double> curve;
+    curve.reserve(max_walk_length + 1);
+    curve.push_back(tvd(p));
+    for (std::uint32_t t = 1; t <= max_walk_length; ++t) {
+      step_directed(g, p, buffer, teleport);
+      p.swap(buffer);
+      curve.push_back(tvd(p));
+    }
+    out.tvd.push_back(std::move(curve));
+  }
+  return out;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,73 @@
+// Dynamic social graphs (the paper's Sec.-VI open problem): how do the
+// measured properties evolve as a social graph grows?
+//
+// An EvolvingGraph replays a growth process (any generator expressed as an
+// ordered edge stream) and materializes snapshots at chosen vertex counts;
+// measure_evolution() runs the property suite on every snapshot so the
+// long-term trends of mu, core structure and expansion can be examined.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+/// A growth trace: vertices appear in id order; edge i is added at step i.
+/// Edges must be simple after deduplication (the snapshot builder dedups).
+class GrowthTrace {
+ public:
+  GrowthTrace(VertexId final_vertices, std::vector<Edge> edges);
+
+  VertexId final_vertices() const noexcept { return final_vertices_; }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Snapshot containing exactly the first `num_vertices` vertices and
+  /// every edge among them that has appeared in the stream. Throws
+  /// std::invalid_argument when num_vertices exceeds the final count.
+  Graph snapshot(VertexId num_vertices) const;
+
+ private:
+  VertexId final_vertices_;
+  std::vector<Edge> edges_;
+};
+
+/// Growth trace of a preferential-attachment process (the BA model as an
+/// explicit stream, so snapshots are exactly the BA graph at every size).
+GrowthTrace preferential_attachment_trace(VertexId final_vertices,
+                                          VertexId edges_per_node,
+                                          std::uint64_t seed);
+
+/// Growth trace of the regional affiliation (co-authorship) process: the
+/// strict-trust class, growing one collaboration group at a time with the
+/// actor universe expanding in proportion.
+GrowthTrace affiliation_trace(VertexId final_vertices,
+                              std::uint32_t regions,
+                              double groups_per_actor,
+                              std::uint64_t seed);
+
+/// Properties measured per snapshot (a compact subset of PropertyReport —
+/// the quantities whose evolution the open problem asks about).
+struct EvolutionPoint {
+  VertexId snapshot_vertices = 0;  ///< requested snapshot size
+  std::uint64_t nodes = 0;         ///< largest-component size measured
+  std::uint64_t edges = 0;
+  double mu = 0.0;
+  std::uint32_t degeneracy = 0;
+  std::uint32_t max_core_count = 0;
+  double min_expansion_factor = 0.0;
+};
+
+struct EvolutionOptions {
+  std::uint32_t expansion_sources = 400;
+  std::uint64_t seed = 1;
+};
+
+/// Measures every requested snapshot (each reduced to its largest
+/// component). Snapshot sizes must be ascending and >= 16.
+std::vector<EvolutionPoint> measure_evolution(
+    const GrowthTrace& trace, const std::vector<VertexId>& snapshot_sizes,
+    const EvolutionOptions& options = {});
+
+}  // namespace sntrust

@@ -1,0 +1,74 @@
+#include "expansion/brute_force.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sntrust {
+
+namespace {
+
+std::uint32_t popcount(std::uint32_t x) { return __builtin_popcount(x); }
+
+/// Neighbour count |N(S)| for the bitmask S.
+std::uint32_t boundary_size(const Graph& g, std::uint32_t mask) {
+  std::uint32_t boundary = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if ((mask >> v) & 1u) {
+      for (const VertexId w : g.neighbors(v))
+        if (((mask >> w) & 1u) == 0) boundary |= 1u << w;
+    }
+  }
+  return popcount(boundary);
+}
+
+bool mask_connected(const Graph& g, std::uint32_t mask) {
+  if (mask == 0) return false;
+  const auto first = static_cast<VertexId>(__builtin_ctz(mask));
+  std::uint32_t seen = 1u << first;
+  std::uint32_t frontier = seen;
+  while (frontier != 0) {
+    std::uint32_t next = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if ((frontier >> v) & 1u) {
+        for (const VertexId w : g.neighbors(v)) {
+          const std::uint32_t bit = 1u << w;
+          if ((mask & bit) != 0 && (seen & bit) == 0) next |= bit;
+        }
+      }
+    }
+    seen |= next;
+    frontier = next;
+  }
+  return seen == mask;
+}
+
+double expansion_over_masks(const Graph& g, bool require_connected) {
+  const VertexId n = g.num_vertices();
+  if (n == 0)
+    throw std::invalid_argument("vertex expansion: empty graph");
+  if (n > 24)
+    throw std::invalid_argument("vertex expansion: n must be <= 24");
+  const std::uint32_t all = n == 32 ? 0xFFFFFFFFu : (1u << n) - 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 1; mask <= all; ++mask) {
+    const std::uint32_t size = popcount(mask);
+    if (size == 0 || size > n / 2) continue;
+    if (require_connected && !mask_connected(g, mask)) continue;
+    const double ratio =
+        static_cast<double>(boundary_size(g, mask)) / size;
+    if (ratio < best) best = ratio;
+  }
+  return best;
+}
+
+}  // namespace
+
+double exact_vertex_expansion(const Graph& g) {
+  return expansion_over_masks(g, /*require_connected=*/false);
+}
+
+double exact_connected_vertex_expansion(const Graph& g) {
+  return expansion_over_masks(g, /*require_connected=*/true);
+}
+
+}  // namespace sntrust

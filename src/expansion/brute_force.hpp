@@ -1,0 +1,22 @@
+// Exact vertex expansion by exhaustive enumeration (Eq. 3) — exponential in
+// n, usable only on tiny graphs. Serves as the test oracle for the
+// BFS-envelope estimator and to demonstrate why GateKeeper restricts S to
+// connected sets.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+/// alpha = min over nonempty S with |S| <= n/2 of |N(S)| / |S|, where N(S)
+/// is the set of vertices outside S adjacent to S (Eq. 3).
+/// Preconditions: 1 <= n <= 24 (throws std::invalid_argument beyond that).
+double exact_vertex_expansion(const Graph& g);
+
+/// Same minimum restricted to *connected* S — GateKeeper's restriction,
+/// which the envelope method measures a further restriction of.
+double exact_connected_vertex_expansion(const Graph& g);
+
+}  // namespace sntrust

@@ -1,0 +1,36 @@
+#include "expansion/envelope.hpp"
+
+#include <stdexcept>
+
+#include "graph/traversal.hpp"
+
+namespace sntrust {
+
+EnvelopeProfile envelope_from_levels(
+    VertexId source, const std::vector<std::uint64_t>& levels) {
+  if (levels.empty() || levels.front() != 1)
+    throw std::invalid_argument(
+        "envelope_from_levels: levels must start with L_0 = 1");
+  EnvelopeProfile out;
+  out.source = source;
+  out.level_sizes = levels;
+  out.envelope_sizes.resize(levels.size());
+  out.neighbor_counts.resize(levels.size());
+  out.alpha.resize(levels.size());
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    cumulative += levels[i];
+    out.envelope_sizes[i] = cumulative;
+    out.neighbor_counts[i] = i + 1 < levels.size() ? levels[i + 1] : 0;
+    out.alpha[i] = static_cast<double>(out.neighbor_counts[i]) /
+                   static_cast<double>(cumulative);
+  }
+  return out;
+}
+
+EnvelopeProfile envelope_profile(const Graph& g, VertexId source) {
+  const BfsResult result = bfs(g, source);
+  return envelope_from_levels(source, result.level_sizes);
+}
+
+}  // namespace sntrust

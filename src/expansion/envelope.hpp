@@ -1,0 +1,39 @@
+// Per-source envelope expansion (paper Sec. III-D).
+//
+// For a core (source) vertex, the envelope Env_i is the ball of radius i in
+// hop distance; its expansion Exp_i is the next BFS level. The expansion
+// factor is alpha_i = L_{i+1} / sum_{j<=i} L_j (Eq. 4). This is the
+// restricted, connected-set expansion GateKeeper assumes, measurable with a
+// linear number of BFS trees instead of the exponential general vertex
+// expansion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+/// Expansion profile rooted at one source vertex.
+struct EnvelopeProfile {
+  VertexId source = 0;
+  /// level_sizes[i] = L_i (level_sizes[0] == 1).
+  std::vector<std::uint64_t> level_sizes;
+  /// envelope_sizes[i] = |Env_i| = sum_{j<=i} L_j.
+  std::vector<std::uint64_t> envelope_sizes;
+  /// neighbor_counts[i] = |Exp_i| = L_{i+1} (0 at the last level).
+  std::vector<std::uint64_t> neighbor_counts;
+  /// alpha[i] = neighbor_counts[i] / envelope_sizes[i].
+  std::vector<double> alpha;
+};
+
+/// BFS-based envelope profile from `source`.
+EnvelopeProfile envelope_profile(const Graph& g, VertexId source);
+
+/// Builds an envelope profile from precomputed BFS level sizes (shared with
+/// BfsRunner so sweeps over all sources reuse one workspace).
+EnvelopeProfile envelope_from_levels(VertexId source,
+                                     const std::vector<std::uint64_t>& levels);
+
+}  // namespace sntrust

@@ -1,0 +1,83 @@
+#include "expansion/expansion_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+double ExpansionProfile::min_alpha(std::uint64_t n) const {
+  double best = -1.0;
+  for (const ExpansionPoint& p : points) {
+    if (p.set_size == 0 || p.set_size > n / 2) continue;
+    const double alpha = p.mean_alpha();
+    if (best < 0.0 || alpha < best) best = alpha;
+  }
+  return best < 0.0 ? 0.0 : best;
+}
+
+ExpansionProfile measure_expansion(const Graph& g,
+                                   const ExpansionOptions& options) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("measure_expansion: empty graph");
+  if (!is_connected(g))
+    throw std::invalid_argument("measure_expansion: graph must be connected");
+
+  std::vector<VertexId> sources;
+  if (options.num_sources == 0 || options.num_sources >= n) {
+    sources.resize(n);
+    for (VertexId v = 0; v < n; ++v) sources[v] = v;
+  } else {
+    Rng rng{options.seed};
+    sources = rng.sample_without_replacement(n, options.num_sources);
+  }
+
+  struct Accumulator {
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::uint64_t, Accumulator> by_size;
+
+  ExpansionProfile out;
+  BfsRunner runner{g};
+  for (const VertexId source : sources) {
+    const BfsResult& result = runner.run(source);
+    const auto& levels = result.level_sizes;
+    out.max_depth = std::max(
+        out.max_depth, static_cast<std::uint32_t>(levels.size() - 1));
+    std::uint64_t envelope = 0;
+    for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+      envelope += levels[i];
+      const std::uint64_t neighbors = levels[i + 1];
+      Accumulator& acc = by_size[envelope];
+      if (acc.count == 0) {
+        acc.min = acc.max = neighbors;
+      } else {
+        acc.min = std::min(acc.min, neighbors);
+        acc.max = std::max(acc.max, neighbors);
+      }
+      acc.sum += static_cast<double>(neighbors);
+      ++acc.count;
+    }
+  }
+
+  out.sources_used = static_cast<std::uint32_t>(sources.size());
+  out.points.reserve(by_size.size());
+  for (const auto& [size, acc] : by_size) {
+    ExpansionPoint point;
+    point.set_size = size;
+    point.min_neighbors = acc.min;
+    point.max_neighbors = acc.max;
+    point.mean_neighbors = acc.sum / static_cast<double>(acc.count);
+    point.observations = acc.count;
+    out.points.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace sntrust

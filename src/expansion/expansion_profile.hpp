@@ -1,0 +1,51 @@
+// Whole-graph expansion measurement: sweep sources, aggregate the
+// (envelope size, neighbour count) observations (paper Figs. 3 and 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+struct ExpansionOptions {
+  /// Number of source vertices. 0 means "every vertex" (the paper's O(nm)
+  /// sweep); any other value samples that many distinct sources uniformly.
+  std::uint32_t num_sources = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate statistics of the neighbour count for one unique envelope size.
+struct ExpansionPoint {
+  std::uint64_t set_size = 0;    ///< |S| = |Env_i|
+  std::uint64_t min_neighbors = 0;
+  std::uint64_t max_neighbors = 0;
+  double mean_neighbors = 0.0;   ///< expected |N(S)| over observations
+  std::uint64_t observations = 0;
+  /// Expected expansion factor alpha = mean_neighbors / set_size (Fig. 4).
+  double mean_alpha() const {
+    return set_size == 0 ? 0.0
+                         : mean_neighbors / static_cast<double>(set_size);
+  }
+};
+
+/// The aggregated expansion measurement of a graph.
+struct ExpansionProfile {
+  /// Points keyed by unique envelope size, ascending.
+  std::vector<ExpansionPoint> points;
+  std::uint32_t sources_used = 0;
+  std::uint32_t max_depth = 0;  ///< deepest BFS tree seen (<= diameter)
+
+  /// Minimum observed expansion factor over all points with
+  /// set_size <= n/2 — the empirical restricted expansion constant.
+  double min_alpha(std::uint64_t n) const;
+};
+
+/// Sweeps sources and aggregates per-unique-set-size statistics. Requires a
+/// connected graph (throws std::invalid_argument otherwise).
+ExpansionProfile measure_expansion(const Graph& g,
+                                   const ExpansionOptions& options = {});
+
+}  // namespace sntrust

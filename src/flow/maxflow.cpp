@@ -1,0 +1,81 @@
+#include "flow/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sntrust {
+
+FlowNetwork::FlowNetwork(std::uint32_t num_nodes)
+    : num_nodes_(num_nodes), adjacency_(num_nodes) {}
+
+void FlowNetwork::add_arc(std::uint32_t u, std::uint32_t v,
+                          std::uint64_t capacity) {
+  if (u >= num_nodes_ || v >= num_nodes_)
+    throw std::out_of_range("FlowNetwork::add_arc: endpoint out of range");
+  const std::size_t fwd = arcs_.size();
+  arcs_.push_back({v, capacity, fwd + 1});
+  arcs_.push_back({u, 0, fwd});
+  adjacency_[u].push_back(fwd);
+  adjacency_[v].push_back(fwd + 1);
+  forward_arc_index_.push_back(fwd);
+  original_capacity_.push_back(capacity);
+}
+
+std::uint64_t FlowNetwork::max_flow(std::uint32_t source, std::uint32_t sink) {
+  if (source >= num_nodes_ || sink >= num_nodes_)
+    throw std::out_of_range("FlowNetwork::max_flow: endpoint out of range");
+  if (source == sink)
+    throw std::invalid_argument("FlowNetwork::max_flow: source == sink");
+
+  std::uint64_t total = 0;
+  std::vector<std::size_t> parent_arc(num_nodes_);
+  std::vector<std::uint8_t> visited(num_nodes_);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(num_nodes_);
+
+  for (;;) {
+    std::fill(visited.begin(), visited.end(), 0);
+    queue.clear();
+    queue.push_back(source);
+    visited[source] = 1;
+    bool found = false;
+    for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+      const std::uint32_t u = queue[head];
+      for (const std::size_t arc : adjacency_[u]) {
+        const HalfArc& a = arcs_[arc];
+        if (a.capacity == 0 || visited[a.to]) continue;
+        visited[a.to] = 1;
+        parent_arc[a.to] = arc;
+        if (a.to == sink) { found = true; break; }
+        queue.push_back(a.to);
+      }
+    }
+    if (!found) break;
+
+    // Bottleneck along the BFS path.
+    std::uint64_t bottleneck = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t v = sink; v != source;) {
+      const HalfArc& a = arcs_[parent_arc[v]];
+      bottleneck = std::min(bottleneck, a.capacity);
+      v = arcs_[a.reverse].to;
+    }
+    for (std::uint32_t v = sink; v != source;) {
+      HalfArc& a = arcs_[parent_arc[v]];
+      a.capacity -= bottleneck;
+      arcs_[a.reverse].capacity += bottleneck;
+      v = arcs_[a.reverse].to;
+    }
+    total += bottleneck;
+  }
+  return total;
+}
+
+std::uint64_t FlowNetwork::arc_flow(std::size_t arc) const {
+  if (arc >= forward_arc_index_.size())
+    throw std::out_of_range("FlowNetwork::arc_flow: bad arc index");
+  const std::size_t idx = forward_arc_index_[arc];
+  return original_capacity_[arc] - arcs_[idx].capacity;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,46 @@
+// Integer max-flow on small capacity networks (BFS augmentation /
+// Edmonds-Karp). Used by SumUp's vote collection, where link capacities are
+// the ticket counts assigned within the vote envelope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sntrust {
+
+/// Directed flow network over dense node ids. Capacities are per directed
+/// arc; adding (u, v, c) twice accumulates capacity.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::uint32_t num_nodes);
+
+  std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Adds a directed arc u -> v with capacity `capacity` (and the implicit
+  /// residual reverse arc). Throws std::out_of_range on bad endpoints.
+  void add_arc(std::uint32_t u, std::uint32_t v, std::uint64_t capacity);
+
+  /// Computes the max flow from `source` to `sink`; mutates residual
+  /// capacities (call once per network, or rebuild). Throws on bad ids or
+  /// source == sink.
+  std::uint64_t max_flow(std::uint32_t source, std::uint32_t sink);
+
+  /// Flow currently routed through arc index `arc` (as returned by order of
+  /// add_arc calls). Valid after max_flow().
+  std::uint64_t arc_flow(std::size_t arc) const;
+
+ private:
+  struct HalfArc {
+    std::uint32_t to = 0;
+    std::uint64_t capacity = 0;
+    std::size_t reverse = 0;  ///< index of the paired residual arc
+  };
+
+  std::uint32_t num_nodes_;
+  std::vector<std::vector<std::size_t>> adjacency_;  // node -> arc indices
+  std::vector<HalfArc> arcs_;
+  std::vector<std::uint64_t> original_capacity_;  // per forward arc
+  std::vector<std::size_t> forward_arc_index_;    // add_arc order -> arcs_ idx
+};
+
+}  // namespace sntrust

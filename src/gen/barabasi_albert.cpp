@@ -1,0 +1,55 @@
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+Graph barabasi_albert(VertexId n, VertexId edges_per_node,
+                      std::uint64_t seed) {
+  if (edges_per_node < 1)
+    throw std::invalid_argument("barabasi_albert: edges_per_node must be >= 1");
+  if (n <= edges_per_node)
+    throw std::invalid_argument("barabasi_albert: need n > edges_per_node");
+
+  Rng rng{seed};
+  GraphBuilder builder{n};
+  builder.reserve(static_cast<std::size_t>(n) * edges_per_node);
+
+  // `endpoints` lists every vertex once per incident edge; sampling a uniform
+  // entry is exactly degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2ull * n * edges_per_node);
+
+  // Seed: clique on the first edges_per_node + 1 vertices.
+  const VertexId seed_size = edges_per_node + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> picks(edges_per_node);
+  for (VertexId v = seed_size; v < n; ++v) {
+    // Draw edges_per_node distinct targets by rejection on the endpoint list.
+    std::size_t got = 0;
+    while (got < edges_per_node) {
+      const VertexId target = endpoints[rng.uniform(endpoints.size())];
+      bool duplicate = false;
+      for (std::size_t i = 0; i < got; ++i)
+        if (picks[i] == target) { duplicate = true; break; }
+      if (!duplicate) picks[got++] = target;
+    }
+    for (std::size_t i = 0; i < edges_per_node; ++i) {
+      builder.add_edge(v, picks[i]);
+      endpoints.push_back(v);
+      endpoints.push_back(picks[i]);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace sntrust

@@ -1,0 +1,31 @@
+#include <numeric>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+Graph configuration_model(const std::vector<VertexId>& degrees,
+                          std::uint64_t seed) {
+  const auto n = static_cast<VertexId>(degrees.size());
+  Rng rng{seed};
+
+  std::vector<VertexId> stubs;
+  stubs.reserve(std::accumulate(degrees.begin(), degrees.end(),
+                                std::size_t{0}));
+  for (VertexId v = 0; v < n; ++v)
+    for (VertexId i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+
+  if (stubs.size() % 2 == 1) stubs.pop_back();  // odd sum: drop one stub
+  rng.shuffle(std::span<VertexId>{stubs});
+
+  GraphBuilder builder{n};
+  builder.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+    builder.add_edge(stubs[i], stubs[i + 1]);  // self loops/dups dropped
+  return builder.build();
+}
+
+}  // namespace sntrust

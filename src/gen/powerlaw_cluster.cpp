@@ -1,0 +1,77 @@
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+Graph powerlaw_cluster(VertexId n, VertexId edges_per_node, double triangle_p,
+                       std::uint64_t seed) {
+  if (edges_per_node < 1)
+    throw std::invalid_argument("powerlaw_cluster: edges_per_node must be >= 1");
+  if (n <= edges_per_node)
+    throw std::invalid_argument("powerlaw_cluster: need n > edges_per_node");
+  if (triangle_p < 0.0 || triangle_p > 1.0)
+    throw std::invalid_argument("powerlaw_cluster: triangle_p must be in [0,1]");
+
+  Rng rng{seed};
+  GraphBuilder builder{n};
+  builder.reserve(static_cast<std::size_t>(n) * edges_per_node);
+
+  // adjacency so far, needed for the triad-closure step.
+  std::vector<std::vector<VertexId>> adj(n);
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2ull * n * edges_per_node);
+
+  auto connect = [&](VertexId a, VertexId b) {
+    builder.add_edge(a, b);
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  };
+  auto connected = [&](VertexId a, VertexId b) {
+    const auto& small = adj[a].size() < adj[b].size() ? adj[a] : adj[b];
+    const VertexId probe = adj[a].size() < adj[b].size() ? b : a;
+    for (const VertexId w : small)
+      if (w == probe) return true;
+    return false;
+  };
+
+  const VertexId seed_size = edges_per_node + 1;
+  for (VertexId u = 0; u < seed_size; ++u)
+    for (VertexId v = u + 1; v < seed_size; ++v) connect(u, v);
+
+  for (VertexId v = seed_size; v < n; ++v) {
+    // First link: always preferential.
+    VertexId last = endpoints[rng.uniform(endpoints.size())];
+    connect(v, last);
+    for (VertexId link = 1; link < edges_per_node; ++link) {
+      bool done = false;
+      if (rng.bernoulli(triangle_p)) {
+        // Triad closure: connect to a random neighbour of the last target.
+        const auto& candidates = adj[last];
+        for (int attempt = 0; attempt < 8 && !done; ++attempt) {
+          const VertexId w = candidates[rng.uniform(candidates.size())];
+          if (w != v && !connected(v, w)) {
+            connect(v, w);
+            last = w;
+            done = true;
+          }
+        }
+      }
+      while (!done) {
+        const VertexId w = endpoints[rng.uniform(endpoints.size())];
+        if (w != v && !connected(v, w)) {
+          connect(v, w);
+          last = w;
+          done = true;
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace sntrust

@@ -1,0 +1,74 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+std::vector<VertexId> powerlaw_degrees(VertexId n, double gamma, VertexId dmin,
+                                       VertexId cap, std::uint64_t seed) {
+  if (gamma <= 1.0)
+    throw std::invalid_argument("powerlaw_degrees: gamma must be > 1");
+  if (dmin < 1) throw std::invalid_argument("powerlaw_degrees: dmin >= 1");
+  if (cap < dmin) throw std::invalid_argument("powerlaw_degrees: cap >= dmin");
+  Rng rng{seed};
+  std::vector<VertexId> degrees(n);
+  const double inv_exp = 1.0 / (gamma - 1.0);
+  for (VertexId i = 0; i < n; ++i) {
+    // Inverse-CDF sampling of a Pareto tail, floored to an integer degree.
+    const double u = 1.0 - rng.uniform_real();  // (0, 1]
+    const double d = dmin * std::pow(u, -inv_exp);
+    degrees[i] = static_cast<VertexId>(
+        std::min<double>(cap, std::max<double>(dmin, d)));
+  }
+  return degrees;
+}
+
+Graph powerlaw_community(const PowerlawCommunityParams& params,
+                         std::uint64_t seed) {
+  const VertexId n = params.num_vertices;
+  if (n == 0) throw std::invalid_argument("powerlaw_community: need vertices");
+  if (params.blocks < 1)
+    throw std::invalid_argument("powerlaw_community: blocks must be >= 1");
+  if (params.global_fraction < 0.0 || params.global_fraction > 1.0)
+    throw std::invalid_argument(
+        "powerlaw_community: global_fraction must be in [0,1]");
+
+  Rng rng{seed};
+  const std::vector<VertexId> degrees = powerlaw_degrees(
+      n, params.gamma, params.min_degree, params.max_degree_cap, rng());
+
+  const std::uint32_t blocks = params.blocks;
+  const VertexId block_size = std::max<VertexId>(1, n / blocks);
+  const auto block_of = [&](VertexId v) {
+    const auto b = static_cast<std::uint32_t>(v / block_size);
+    return b >= blocks ? blocks - 1 : b;
+  };
+
+  // Split each vertex's stubs into a local pile (within its block) and the
+  // global pile, then run stub matching on each pile independently.
+  std::vector<std::vector<VertexId>> local_stubs(blocks);
+  std::vector<VertexId> global_stubs;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto global_count = static_cast<VertexId>(
+        std::llround(params.global_fraction * degrees[v]));
+    for (VertexId i = 0; i < global_count; ++i) global_stubs.push_back(v);
+    for (VertexId i = global_count; i < degrees[v]; ++i)
+      local_stubs[block_of(v)].push_back(v);
+  }
+
+  GraphBuilder builder{n};
+  const auto match = [&](std::vector<VertexId>& stubs) {
+    if (stubs.size() % 2 == 1) stubs.pop_back();
+    rng.shuffle(std::span<VertexId>{stubs});
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+      builder.add_edge(stubs[i], stubs[i + 1]);
+  };
+  for (auto& pile : local_stubs) match(pile);
+  match(global_stubs);
+  return builder.build();
+}
+
+}  // namespace sntrust

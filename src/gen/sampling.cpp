@@ -1,0 +1,100 @@
+#include "gen/sampling.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+namespace {
+
+void check_k(const Graph& g, VertexId k, const char* who) {
+  if (k == 0 || k > g.num_vertices())
+    throw std::invalid_argument(std::string(who) +
+                                ": k must be in [1, num_vertices]");
+}
+
+}  // namespace
+
+ExtractedGraph sample_random_vertices(const Graph& g, VertexId k,
+                                      std::uint64_t seed) {
+  check_k(g, k, "sample_random_vertices");
+  Rng rng{seed};
+  const std::vector<VertexId> members =
+      rng.sample_without_replacement(g.num_vertices(), k);
+  return induced_subgraph(g, members);
+}
+
+ExtractedGraph sample_random_edges(const Graph& g, std::uint64_t k,
+                                   std::uint64_t seed) {
+  if (k == 0 || k > g.num_edges())
+    throw std::invalid_argument(
+        "sample_random_edges: k must be in [1, num_edges]");
+  Rng rng{seed};
+  const std::vector<Edge> edges = g.edges();
+  // Sample k distinct edge indices, collect endpoint set.
+  const std::vector<std::uint32_t> picks = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(edges.size()), static_cast<std::uint32_t>(k));
+  std::unordered_set<VertexId> seen;
+  std::vector<VertexId> members;
+  for (const std::uint32_t i : picks) {
+    for (const VertexId v : {edges[i].u, edges[i].v})
+      if (seen.insert(v).second) members.push_back(v);
+  }
+  return induced_subgraph(g, members);
+}
+
+ExtractedGraph sample_snowball(const Graph& g, VertexId k,
+                               std::uint64_t seed) {
+  check_k(g, k, "sample_snowball");
+  Rng rng{seed};
+  const auto start = static_cast<VertexId>(rng.uniform(g.num_vertices()));
+  const BfsResult result = bfs(g, start);
+
+  // Collect vertices in BFS order until k are gathered.
+  std::vector<VertexId> members;
+  members.reserve(k);
+  // BFS order is not stored; rebuild by walking levels over distances.
+  for (std::uint32_t level = 0; members.size() < k; ++level) {
+    bool any = false;
+    for (VertexId v = 0; v < g.num_vertices() && members.size() < k; ++v) {
+      if (result.distances[v] == level) {
+        members.push_back(v);
+        any = true;
+      }
+    }
+    if (!any) break;  // component exhausted before k
+  }
+  return induced_subgraph(g, members);
+}
+
+ExtractedGraph sample_random_walk(const Graph& g, VertexId k,
+                                  std::uint64_t seed) {
+  check_k(g, k, "sample_random_walk");
+  Rng rng{seed};
+  VertexId start = static_cast<VertexId>(rng.uniform(g.num_vertices()));
+  // Find a non-isolated start.
+  for (VertexId tries = 0; g.degree(start) == 0 && tries < g.num_vertices();
+       ++tries)
+    start = (start + 1) % g.num_vertices();
+  if (g.degree(start) == 0)
+    throw std::invalid_argument("sample_random_walk: graph has no edges");
+
+  std::unordered_set<VertexId> seen;
+  std::vector<VertexId> members;
+  VertexId at = start;
+  seen.insert(at);
+  members.push_back(at);
+  const std::uint64_t step_budget = 100ull * k;
+  for (std::uint64_t step = 0; step < step_budget && members.size() < k;
+       ++step) {
+    const auto nbrs = g.neighbors(at);
+    at = nbrs[rng.uniform(nbrs.size())];
+    if (seen.insert(at).second) members.push_back(at);
+  }
+  return induced_subgraph(g, members);
+}
+
+}  // namespace sntrust

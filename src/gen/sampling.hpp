@@ -1,0 +1,35 @@
+// Graph-sampling methods for measurement methodology studies: the paper's
+// own measurements sample sources (mixing) or all vertices (expansion); a
+// practitioner facing a billion-edge graph instead measures a *sampled
+// subgraph*. These samplers let the ablations quantify which properties
+// survive which sampling method (they famously do not all survive — e.g.
+// snowball sampling biases coreness up and mixing down).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/subgraph.hpp"
+
+namespace sntrust {
+
+/// Induced subgraph on `k` uniformly random vertices.
+ExtractedGraph sample_random_vertices(const Graph& g, VertexId k,
+                                      std::uint64_t seed);
+
+/// Induced subgraph on the endpoints of `k` uniformly random edges
+/// (vertex count is <= 2k after dedup).
+ExtractedGraph sample_random_edges(const Graph& g, std::uint64_t k,
+                                   std::uint64_t seed);
+
+/// Snowball (BFS ball) sample: full neighbourhoods from a random seed until
+/// `k` vertices are collected (the last level is truncated arbitrarily).
+ExtractedGraph sample_snowball(const Graph& g, VertexId k,
+                               std::uint64_t seed);
+
+/// Random-walk sample: induced subgraph on the distinct vertices visited by
+/// a simple random walk from a random start until `k` distinct vertices are
+/// seen (or 100 * k steps elapse).
+ExtractedGraph sample_random_walk(const Graph& g, VertexId k,
+                                  std::uint64_t seed);
+
+}  // namespace sntrust

@@ -1,0 +1,62 @@
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+Graph watts_strogatz(VertexId n, VertexId k, double rewire_p,
+                     std::uint64_t seed) {
+  if (k < 1) throw std::invalid_argument("watts_strogatz: k must be >= 1");
+  if (n <= 2 * k)
+    throw std::invalid_argument("watts_strogatz: need n > 2k");
+  if (rewire_p < 0.0 || rewire_p > 1.0)
+    throw std::invalid_argument("watts_strogatz: rewire_p must be in [0,1]");
+
+  Rng rng{seed};
+  // Edge set as (u << 32 | v) codes with u < v, so rewiring can test
+  // membership cheaply.
+  std::unordered_set<std::uint64_t> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k * 2);
+  auto code = [](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId j = 1; j <= k; ++j)
+      edges.insert(code(u, static_cast<VertexId>((u + j) % n)));
+
+  // Rewire each original lattice edge (u, u+j) with probability p, keeping u
+  // fixed and redrawing the far endpoint.
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId j = 1; j <= k; ++j) {
+      if (!rng.bernoulli(rewire_p)) continue;
+      const auto old_v = static_cast<VertexId>((u + j) % n);
+      const std::uint64_t old_code = code(u, old_v);
+      if (edges.find(old_code) == edges.end()) continue;  // already rewired away
+      // Draw a fresh endpoint; give up after a bounded number of attempts on
+      // (near-)saturated neighbourhoods.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const auto w = static_cast<VertexId>(rng.uniform(n));
+        if (w == u) continue;
+        const std::uint64_t new_code = code(u, w);
+        if (edges.count(new_code) != 0) continue;
+        edges.erase(old_code);
+        edges.insert(new_code);
+        break;
+      }
+    }
+  }
+
+  GraphBuilder builder{n};
+  builder.reserve(edges.size());
+  for (const std::uint64_t c : edges)
+    builder.add_edge(static_cast<VertexId>(c >> 32),
+                     static_cast<VertexId>(c & 0xFFFFFFFFu));
+  return builder.build();
+}
+
+}  // namespace sntrust

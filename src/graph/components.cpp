@@ -1,0 +1,65 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/subgraph.hpp"
+
+namespace sntrust {
+
+std::uint32_t Components::largest() const {
+  if (sizes.empty()) throw std::logic_error("Components::largest: empty graph");
+  return static_cast<std::uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+Components connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  Components out;
+  out.component_of.assign(n, 0xFFFFFFFFu);
+
+  const auto& offsets = g.offsets();
+  const auto& targets = g.targets();
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+
+  for (VertexId start = 0; start < n; ++start) {
+    if (out.component_of[start] != 0xFFFFFFFFu) continue;
+    const auto cid = static_cast<std::uint32_t>(out.sizes.size());
+    out.sizes.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    out.component_of[start] = cid;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const VertexId u = queue[head++];
+      ++out.sizes[cid];
+      for (EdgeIndex i = offsets[u]; i < offsets[u + 1]; ++i) {
+        const VertexId w = targets[i];
+        if (out.component_of[w] == 0xFFFFFFFFu) {
+          out.component_of[w] = cid;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ExtractedGraph largest_component(const Graph& g) {
+  if (g.num_vertices() == 0) return {Graph{}, {}};
+  const Components comps = connected_components(g);
+  const std::uint32_t keep = comps.largest();
+  std::vector<VertexId> members;
+  members.reserve(comps.sizes[keep]);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (comps.component_of[v] == keep) members.push_back(v);
+  return induced_subgraph(g, members);
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count() == 1;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,79 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sntrust {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  validate();
+}
+
+void Graph::check_vertex(VertexId v) const {
+  if (v >= num_vertices())
+    throw std::out_of_range("Graph: vertex " + std::to_string(v) +
+                            " out of range (n=" +
+                            std::to_string(num_vertices()) + ")");
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  check_vertex(v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u)
+    for (VertexId v : neighbors(u))
+      if (u < v) out.push_back({u, v});
+  return out;
+}
+
+void Graph::validate() const {
+  if (offsets_.empty())
+    throw std::invalid_argument("Graph: offsets must have >= 1 entry");
+  if (offsets_.front() != 0)
+    throw std::invalid_argument("Graph: offsets[0] must be 0");
+  if (offsets_.back() != targets_.size())
+    throw std::invalid_argument("Graph: offsets must end at targets.size()");
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1])
+      throw std::invalid_argument("Graph: offsets must be non-decreasing");
+    VertexId prev = 0;
+    bool first = true;
+    for (EdgeIndex i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      const VertexId t = targets_[i];
+      if (t >= n)
+        throw std::invalid_argument("Graph: neighbour id out of range");
+      if (t == v) throw std::invalid_argument("Graph: self loop at vertex " +
+                                              std::to_string(v));
+      if (!first && t <= prev)
+        throw std::invalid_argument(
+            "Graph: adjacency of vertex " + std::to_string(v) +
+            " not strictly sorted (duplicate or unsorted neighbour)");
+      prev = t;
+      first = false;
+    }
+  }
+  if (targets_.size() % 2 != 0)
+    throw std::invalid_argument("Graph: directed half-edge count must be even");
+  // Symmetry: every (v -> t) must have a matching (t -> v). Count-based
+  // check is O(m log deg): binary search the reverse edge.
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeIndex i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      const VertexId t = targets_[i];
+      const VertexId* lo = targets_.data() + offsets_[t];
+      const VertexId* hi = targets_.data() + offsets_[t + 1];
+      if (!std::binary_search(lo, hi, v))
+        throw std::invalid_argument("Graph: adjacency not symmetric for edge " +
+                                    std::to_string(v) + "-" + std::to_string(t));
+    }
+  }
+}
+
+}  // namespace sntrust

@@ -1,0 +1,80 @@
+// Immutable compressed-sparse-row representation of a simple undirected
+// unweighted graph — the graph model of Sec. III-A of the paper.
+//
+// Vertices are dense ids 0..n-1. Each undirected edge {u,v} is stored twice
+// (once in each endpoint's adjacency span); adjacency spans are sorted, which
+// lets neighbour tests run in O(log deg) and makes iteration order
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sntrust {
+
+using VertexId = std::uint32_t;
+using EdgeIndex = std::uint64_t;
+
+/// An undirected edge as an unordered pair; builders normalize u <= v.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  /// Empty graph (0 vertices).
+  Graph() = default;
+
+  /// Builds from CSR arrays. `offsets` has n+1 entries; `targets[offsets[v] ..
+  /// offsets[v+1])` are v's neighbours, sorted ascending. Validated; throws
+  /// std::invalid_argument on malformed input (unsorted spans, self loops,
+  /// duplicate neighbours, asymmetric adjacency, out-of-range targets).
+  Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets);
+
+  /// Number of vertices n.
+  VertexId num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m.
+  EdgeIndex num_edges() const noexcept { return targets_.size() / 2; }
+
+  /// deg(v). Precondition: v < num_vertices().
+  VertexId degree(VertexId v) const {
+    check_vertex(v);
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbour span of v. Precondition: v < num_vertices().
+  std::span<const VertexId> neighbors(VertexId v) const {
+    check_vertex(v);
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  /// True when {u,v} is an edge. O(log deg(u)).
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// All undirected edges, each once with u < v, in ascending order.
+  std::vector<Edge> edges() const;
+
+  /// Raw CSR arrays (for serialization and operators that walk the whole
+  /// adjacency structure in one pass).
+  const std::vector<EdgeIndex>& offsets() const noexcept { return offsets_; }
+  const std::vector<VertexId>& targets() const noexcept { return targets_; }
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  void check_vertex(VertexId v) const;
+  void validate() const;
+
+  std::vector<EdgeIndex> offsets_{0};
+  std::vector<VertexId> targets_;
+};
+
+}  // namespace sntrust

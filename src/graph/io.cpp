@@ -1,0 +1,113 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace sntrust {
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x534e545255535431ULL;  // "SNTRUST1"
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("binary graph: truncated file");
+  return value;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::unordered_map<std::uint64_t, VertexId> id_map;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::string line;
+  const auto intern = [&](std::uint64_t raw) {
+    auto [it, inserted] =
+        id_map.emplace(raw, static_cast<VertexId>(id_map.size()));
+    return it->second;
+  };
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields{line};
+    std::uint64_t a = 0, b = 0;
+    if (!(fields >> a >> b))
+      throw std::runtime_error("edge list: malformed line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    edges.emplace_back(intern(a), intern(b));
+  }
+  GraphBuilder builder{static_cast<VertexId>(id_map.size())};
+  builder.reserve(edges.size());
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (VertexId v : g.neighbors(u))
+      if (u < v) out << u << ' ' << v << '\n';
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_edge_list(g, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void write_binary_file(const Graph& g, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_pod(out, kBinaryMagic);
+  write_pod(out, static_cast<std::uint64_t>(g.num_vertices()));
+  write_pod(out, static_cast<std::uint64_t>(g.targets().size()));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() *
+                                         sizeof(EdgeIndex)));
+  out.write(reinterpret_cast<const char*>(g.targets().data()),
+            static_cast<std::streamsize>(g.targets().size() *
+                                         sizeof(VertexId)));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Graph read_binary_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("cannot open binary graph: " + path);
+  if (read_pod<std::uint64_t>(in) != kBinaryMagic)
+    throw std::runtime_error("binary graph: bad magic in " + path);
+  const auto n = read_pod<std::uint64_t>(in);
+  const auto half_edges = read_pod<std::uint64_t>(in);
+  std::vector<EdgeIndex> offsets(n + 1);
+  std::vector<VertexId> targets(half_edges);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeIndex)));
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(targets.size() * sizeof(VertexId)));
+  if (!in) throw std::runtime_error("binary graph: truncated file " + path);
+  return Graph{std::move(offsets), std::move(targets)};  // validates
+}
+
+}  // namespace sntrust

@@ -1,0 +1,31 @@
+// Edge-list serialization.
+//
+// Text format is the SNAP-style whitespace-separated "u v" per line with
+// '#' comments, so real datasets (the Table-I graphs, if available) can be
+// loaded directly in place of the synthetic analogues. A compact binary
+// format is provided for caching generated graphs between bench runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+/// Parses a text edge list. Vertex ids may be arbitrary (sparse) integers;
+/// they are remapped densely in first-appearance order. Self loops and
+/// duplicate edges are dropped. Throws std::runtime_error on parse errors.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+/// Writes "u v" lines, one per undirected edge (u < v).
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Binary CSR snapshot (magic + n + m + offsets + targets, little-endian).
+void write_binary_file(const Graph& g, const std::string& path);
+/// Loads a binary snapshot; throws std::runtime_error on malformed files.
+Graph read_binary_file(const std::string& path);
+
+}  // namespace sntrust

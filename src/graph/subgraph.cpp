@@ -1,0 +1,33 @@
+#include "graph/subgraph.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace sntrust {
+
+ExtractedGraph induced_subgraph(const Graph& g,
+                                std::span<const VertexId> members) {
+  const VertexId n = g.num_vertices();
+  constexpr VertexId kAbsent = 0xFFFFFFFFu;
+  std::vector<VertexId> new_id(n, kAbsent);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const VertexId v = members[i];
+    if (v >= n)
+      throw std::invalid_argument("induced_subgraph: member out of range");
+    if (new_id[v] != kAbsent)
+      throw std::invalid_argument("induced_subgraph: duplicate member");
+    new_id[v] = static_cast<VertexId>(i);
+  }
+
+  GraphBuilder builder{static_cast<VertexId>(members.size())};
+  for (const VertexId v : members) {
+    for (const VertexId w : g.neighbors(v)) {
+      if (new_id[w] != kAbsent && v < w)
+        builder.add_edge(new_id[v], new_id[w]);
+    }
+  }
+  return {builder.build(), {members.begin(), members.end()}};
+}
+
+}  // namespace sntrust

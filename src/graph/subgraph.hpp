@@ -1,0 +1,24 @@
+// Induced-subgraph extraction with id remapping.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+/// An induced subgraph together with the mapping back to the parent graph.
+struct ExtractedGraph {
+  Graph graph;
+  /// original_id[new_id] = vertex id in the source graph.
+  std::vector<VertexId> original_id;
+};
+
+/// Induced subgraph on `members` (must be distinct, in-range vertex ids;
+/// throws std::invalid_argument otherwise). New ids are assigned in the order
+/// vertices appear in `members`.
+ExtractedGraph induced_subgraph(const Graph& g,
+                                std::span<const VertexId> members);
+
+}  // namespace sntrust

@@ -1,0 +1,51 @@
+// Breadth-first traversal primitives shared by the expansion, diameter and
+// defense modules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+/// Sentinel distance for vertices unreachable from the BFS source.
+inline constexpr std::uint32_t kUnreachable = 0xFFFFFFFFu;
+
+/// Result of a single-source BFS.
+struct BfsResult {
+  VertexId source = 0;
+  /// dist[v] = hop distance from source, or kUnreachable.
+  std::vector<std::uint32_t> distances;
+  /// level_sizes[i] = number of vertices at distance exactly i (L_i in the
+  /// paper's Eq. 4); level_sizes[0] == 1.
+  std::vector<std::uint64_t> level_sizes;
+  /// Eccentricity of the source within its component (= level count - 1).
+  std::uint32_t eccentricity = 0;
+  /// Number of vertices reached (including the source).
+  std::uint64_t reached = 0;
+};
+
+/// Full BFS from `source`. Throws std::out_of_range for a bad source.
+BfsResult bfs(const Graph& g, VertexId source);
+
+/// Reusable BFS workspace: avoids reallocating the distance array when many
+/// sources are swept over the same graph (the expansion measurement does one
+/// BFS per vertex).
+class BfsRunner {
+ public:
+  explicit BfsRunner(const Graph& g);
+
+  /// Runs BFS from `source`; the returned reference is invalidated by the
+  /// next run() call.
+  const BfsResult& run(VertexId source);
+
+ private:
+  const Graph& graph_;
+  std::vector<std::uint32_t> epoch_seen_;  // epoch marking instead of reset
+  std::uint32_t epoch_ = 0;
+  std::vector<VertexId> queue_;
+  BfsResult result_;
+};
+
+}  // namespace sntrust

@@ -1,0 +1,130 @@
+#include "markov/dense_spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sntrust {
+
+DenseSpectrum dense_spectrum(const Graph& g, std::uint32_t max_sweeps) {
+  const VertexId n = g.num_vertices();
+  if (n == 0 || g.num_edges() == 0)
+    throw std::invalid_argument("dense_spectrum: graph must have edges");
+  if (n > 256)
+    throw std::invalid_argument("dense_spectrum: n must be <= 256");
+
+  // Build N densely.
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  for (VertexId v = 0; v < n; ++v)
+    if (g.degree(v) > 0)
+      inv_sqrt_deg[v] = 1.0 / std::sqrt(static_cast<double>(g.degree(v)));
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  for (VertexId v = 0; v < n; ++v)
+    for (const VertexId w : g.neighbors(v))
+      a[v][w] = inv_sqrt_deg[v] * inv_sqrt_deg[w];
+
+  // Eigenvector accumulator starts as identity.
+  std::vector<std::vector<double>> vectors(n, std::vector<double>(n, 0.0));
+  for (VertexId i = 0; i < n; ++i) vectors[i][i] = 1.0;
+
+  // Cyclic Jacobi sweeps.
+  for (std::uint32_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (VertexId p = 0; p < n; ++p)
+      for (VertexId q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    if (off < 1e-22) break;
+
+    for (VertexId p = 0; p < n; ++p) {
+      for (VertexId q = p + 1; q < n; ++q) {
+        const double apq = a[p][q];
+        if (std::fabs(apq) < 1e-15) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q.
+        for (VertexId k = 0; k < n; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (VertexId k = 0; k < n; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (VertexId k = 0; k < n; ++k) {
+          const double vkp = vectors[k][p];
+          const double vkq = vectors[k][q];
+          vectors[k][p] = c * vkp - s * vkq;
+          vectors[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a[x][x] > a[y][y]; });
+
+  DenseSpectrum out;
+  out.eigenvalues.reserve(n);
+  out.eigenvectors.reserve(n);
+  for (const std::size_t k : order) {
+    out.eigenvalues.push_back(a[k][k]);
+    std::vector<double> vec(n);
+    for (VertexId i = 0; i < n; ++i) vec[i] = vectors[i][k];
+    out.eigenvectors.push_back(std::move(vec));
+  }
+  return out;
+}
+
+Distribution exact_walk_distribution(const Graph& g,
+                                     const DenseSpectrum& spectrum,
+                                     VertexId source, std::uint32_t steps) {
+  const VertexId n = g.num_vertices();
+  if (source >= n)
+    throw std::out_of_range("exact_walk_distribution: source out of range");
+  if (spectrum.eigenvalues.size() != n)
+    throw std::invalid_argument(
+        "exact_walk_distribution: spectrum size mismatch");
+
+  // p_t = e_s P^t; with P = D^{-1/2} N D^{1/2} and N = sum_k l_k u_k u_k^T:
+  //   p_t(j) = sum_k l_k^t * u_k(s) * d_s^{-1/2} * u_k(j) * d_j^{1/2}
+  // Note the row-vector convention: p_t = e_s D^{-1/2} N^t D^{1/2}.
+  std::vector<double> sqrt_deg(n, 0.0), inv_sqrt_deg(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.degree(v) == 0) continue;
+    sqrt_deg[v] = std::sqrt(static_cast<double>(g.degree(v)));
+    inv_sqrt_deg[v] = 1.0 / sqrt_deg[v];
+  }
+
+  Distribution p(n, 0.0);
+  for (std::size_t k = 0; k < spectrum.eigenvalues.size(); ++k) {
+    const double scale = std::pow(spectrum.eigenvalues[k],
+                                  static_cast<double>(steps)) *
+                         spectrum.eigenvectors[k][source] *
+                         inv_sqrt_deg[source];
+    if (scale == 0.0) continue;
+    const auto& u = spectrum.eigenvectors[k];
+    for (VertexId j = 0; j < n; ++j) p[j] += scale * u[j] * sqrt_deg[j];
+  }
+  // Clamp tiny negative round-off.
+  for (double& value : p) value = std::max(0.0, value);
+  return p;
+}
+
+double exact_slem(const DenseSpectrum& spectrum) {
+  if (spectrum.eigenvalues.size() < 2)
+    throw std::invalid_argument("exact_slem: need >= 2 eigenvalues");
+  return std::max(std::fabs(spectrum.eigenvalues[1]),
+                  std::fabs(spectrum.eigenvalues.back()));
+}
+
+}  // namespace sntrust

@@ -1,0 +1,38 @@
+#include "markov/distribution.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sntrust {
+
+Distribution dirac(VertexId n, VertexId vertex) {
+  if (vertex >= n) throw std::out_of_range("dirac: vertex out of range");
+  Distribution d(n, 0.0);
+  d[vertex] = 1.0;
+  return d;
+}
+
+Distribution stationary_distribution(const Graph& g) {
+  const EdgeIndex m2 = g.targets().size();  // 2m
+  if (m2 == 0)
+    throw std::invalid_argument("stationary_distribution: graph has no edges");
+  Distribution pi(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    pi[v] = static_cast<double>(g.degree(v)) / static_cast<double>(m2);
+  return pi;
+}
+
+double total_variation(const Distribution& a, const Distribution& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("total_variation: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return 0.5 * sum;
+}
+
+double mass(const Distribution& d) {
+  return std::accumulate(d.begin(), d.end(), 0.0);
+}
+
+}  // namespace sntrust

@@ -1,0 +1,28 @@
+// Probability distributions over graph vertices and the total variation
+// distance used throughout the mixing-time measurement (Sec. III-C, Eq. 2).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+/// Dense probability vector over the n vertices.
+using Distribution = std::vector<double>;
+
+/// Point mass at `vertex`.
+Distribution dirac(VertexId n, VertexId vertex);
+
+/// Stationary distribution of the simple random walk: pi_v = deg(v) / 2m.
+/// Throws std::invalid_argument if the graph has no edges.
+Distribution stationary_distribution(const Graph& g);
+
+/// Total variation distance ||a - b||_tv = 1/2 * sum_v |a_v - b_v|.
+/// Preconditions: equal sizes.
+double total_variation(const Distribution& a, const Distribution& b);
+
+/// Sum of entries (for validating near-1 mass in tests).
+double mass(const Distribution& d);
+
+}  // namespace sntrust

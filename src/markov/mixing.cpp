@@ -1,0 +1,112 @@
+#include "markov/mixing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "markov/transition.hpp"
+#include "markov/walker.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+std::vector<double> MixingCurves::mean_curve() const {
+  if (tvd.empty()) return {};
+  std::vector<double> mean(tvd.front().size(), 0.0);
+  for (const auto& curve : tvd)
+    for (std::size_t t = 0; t < curve.size(); ++t) mean[t] += curve[t];
+  for (double& v : mean) v /= static_cast<double>(tvd.size());
+  return mean;
+}
+
+std::vector<double> MixingCurves::max_curve() const {
+  if (tvd.empty()) return {};
+  std::vector<double> worst(tvd.front().size(), 0.0);
+  for (const auto& curve : tvd)
+    for (std::size_t t = 0; t < curve.size(); ++t)
+      worst[t] = std::max(worst[t], curve[t]);
+  return worst;
+}
+
+MixingCurves measure_mixing(const Graph& g, const MixingOptions& options) {
+  const VertexId n = g.num_vertices();
+  if (n == 0 || g.num_edges() == 0)
+    throw std::invalid_argument("measure_mixing: graph must have edges");
+  if (options.num_sources == 0)
+    throw std::invalid_argument("measure_mixing: need at least one source");
+  if (!is_connected(g))
+    throw std::invalid_argument("measure_mixing: graph must be connected");
+
+  Rng rng{options.seed};
+  const std::uint32_t k = std::min<std::uint32_t>(options.num_sources, n);
+
+  MixingCurves out;
+  out.sources = rng.sample_without_replacement(n, k);
+
+  const Distribution pi = stationary_distribution(g);
+  Distribution p, buffer(n);
+  out.tvd.reserve(k);
+  for (const VertexId source : out.sources) {
+    p = dirac(n, source);
+    std::vector<double> curve;
+    curve.reserve(options.max_walk_length + 1);
+    curve.push_back(total_variation(p, pi));
+    for (std::uint32_t t = 1; t <= options.max_walk_length; ++t) {
+      if (options.lazy) step_distribution_lazy(g, p, buffer);
+      else step_distribution(g, p, buffer);
+      p.swap(buffer);
+      curve.push_back(total_variation(p, pi));
+    }
+    out.tvd.push_back(std::move(curve));
+  }
+  return out;
+}
+
+MixingCurves measure_mixing_monte_carlo(const Graph& g,
+                                        const MixingOptions& options,
+                                        std::uint32_t walks_per_point) {
+  const VertexId n = g.num_vertices();
+  if (n == 0 || g.num_edges() == 0)
+    throw std::invalid_argument("measure_mixing_monte_carlo: graph must have edges");
+  if (options.num_sources == 0 || walks_per_point == 0)
+    throw std::invalid_argument(
+        "measure_mixing_monte_carlo: need sources and walks");
+  if (!is_connected(g))
+    throw std::invalid_argument(
+        "measure_mixing_monte_carlo: graph must be connected");
+
+  Rng rng{options.seed};
+  const std::uint32_t k = std::min<std::uint32_t>(options.num_sources, n);
+
+  MixingCurves out;
+  out.sources = rng.sample_without_replacement(n, k);
+  const Distribution pi = stationary_distribution(g);
+
+  RandomWalker walker{g, rng()};
+  std::vector<std::uint32_t> counts(n);
+  Distribution empirical(n);
+  out.tvd.reserve(k);
+  for (const VertexId source : out.sources) {
+    std::vector<double> curve;
+    curve.reserve(options.max_walk_length + 1);
+    for (std::uint32_t t = 0; t <= options.max_walk_length; ++t) {
+      std::fill(counts.begin(), counts.end(), 0u);
+      for (std::uint32_t w = 0; w < walks_per_point; ++w)
+        ++counts[walker.walk_endpoint(source, t)];
+      for (VertexId v = 0; v < n; ++v)
+        empirical[v] = static_cast<double>(counts[v]) / walks_per_point;
+      curve.push_back(total_variation(empirical, pi));
+    }
+    out.tvd.push_back(std::move(curve));
+  }
+  return out;
+}
+
+std::uint32_t mixing_time_estimate(const MixingCurves& curves, double epsilon) {
+  const std::vector<double> worst = curves.max_curve();
+  for (std::size_t t = 0; t < worst.size(); ++t)
+    if (worst[t] <= epsilon) return static_cast<std::uint32_t>(t);
+  return 0xFFFFFFFFu;
+}
+
+}  // namespace sntrust

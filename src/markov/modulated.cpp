@@ -1,0 +1,95 @@
+#include "markov/modulated.hpp"
+
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "markov/transition.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+void step_modulated(const Graph& g, const Distribution& p, Distribution& out,
+                    double alpha) {
+  if (alpha < 0.0 || alpha >= 1.0)
+    throw std::invalid_argument("step_modulated: alpha must be in [0,1)");
+  step_distribution(g, p, out);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    out[v] = alpha * p[v] + (1.0 - alpha) * out[v];
+}
+
+void step_originator_biased(const Graph& g, const Distribution& p,
+                            Distribution& out, double alpha,
+                            VertexId originator) {
+  if (alpha < 0.0 || alpha >= 1.0)
+    throw std::invalid_argument(
+        "step_originator_biased: alpha must be in [0,1)");
+  if (originator >= g.num_vertices())
+    throw std::out_of_range("step_originator_biased: originator out of range");
+  step_distribution(g, p, out);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) out[v] *= 1.0 - alpha;
+  out[originator] += alpha;
+}
+
+Distribution originator_stationary(const Graph& g, VertexId originator,
+                                   double alpha, double tolerance,
+                                   std::uint32_t max_iterations) {
+  if (!(alpha > 0.0) || alpha >= 1.0)
+    throw std::invalid_argument(
+        "originator_stationary: alpha must be in (0,1)");
+  if (originator >= g.num_vertices())
+    throw std::out_of_range("originator_stationary: originator out of range");
+  Distribution p = dirac(g.num_vertices(), originator);
+  Distribution next(p.size());
+  for (std::uint32_t it = 0; it < max_iterations; ++it) {
+    step_originator_biased(g, p, next, alpha, originator);
+    const double distance = total_variation(p, next);
+    p.swap(next);
+    if (distance <= tolerance) break;
+  }
+  return p;
+}
+
+std::uint32_t modulated_mixing_time(const Graph& g, double alpha,
+                                    double epsilon,
+                                    std::uint32_t num_sources,
+                                    std::uint32_t max_walk_length,
+                                    std::uint64_t seed) {
+  if (g.num_vertices() == 0 || g.num_edges() == 0)
+    throw std::invalid_argument("modulated_mixing_time: graph must have edges");
+  if (!is_connected(g))
+    throw std::invalid_argument("modulated_mixing_time: graph must be connected");
+  if (num_sources == 0)
+    throw std::invalid_argument("modulated_mixing_time: need sources");
+
+  Rng rng{seed};
+  const std::uint32_t k =
+      std::min<std::uint32_t>(num_sources, g.num_vertices());
+  const std::vector<VertexId> sources =
+      rng.sample_without_replacement(g.num_vertices(), k);
+  const Distribution pi = stationary_distribution(g);
+
+  // Evolve all sources in lockstep and report the first t where the worst
+  // source is within epsilon.
+  std::vector<Distribution> states;
+  states.reserve(k);
+  for (const VertexId s : sources) states.push_back(dirac(g.num_vertices(), s));
+  Distribution buffer(g.num_vertices());
+
+  const auto worst = [&]() {
+    double value = 0.0;
+    for (const Distribution& p : states)
+      value = std::max(value, total_variation(p, pi));
+    return value;
+  };
+  if (worst() <= epsilon) return 0;
+  for (std::uint32_t t = 1; t <= max_walk_length; ++t) {
+    for (Distribution& p : states) {
+      step_modulated(g, p, buffer, alpha);
+      p.swap(buffer);
+    }
+    if (worst() <= epsilon) return t;
+  }
+  return 0xFFFFFFFFu;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,52 @@
+// Trust-modulated random walks (Mohaisen, Hopper, Kim — INFOCOM 2011,
+// the paper's ref [16]): the observation that slow mixing correlates with
+// strict trust is *used* by deliberately slowing the walk to account for
+// trust. Two modulation schemes from that work:
+//
+//   - lazy modulation: P' = alpha I + (1 - alpha) P — every node hesitates;
+//   - originator-biased modulation: with probability alpha the walk
+//     teleports back to its originator, biasing the walk toward the
+//     trusted source's neighbourhood (a PageRank-style restart).
+//
+// Both interpolate between the raw chain (alpha = 0) and total distrust
+// (alpha -> 1), and both shrink the spectral gap by exactly (1 - alpha),
+// which the tests pin.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "markov/distribution.hpp"
+
+namespace sntrust {
+
+/// One lazy-modulated step: out = alpha * p + (1 - alpha) * pP.
+/// Preconditions: alpha in [0, 1).
+void step_modulated(const Graph& g, const Distribution& p, Distribution& out,
+                    double alpha);
+
+/// One originator-biased step: out = alpha * dirac(originator)
+/// + (1 - alpha) * pP. Preconditions: alpha in [0, 1).
+void step_originator_biased(const Graph& g, const Distribution& p,
+                            Distribution& out, double alpha,
+                            VertexId originator);
+
+/// Stationary distribution of the originator-biased chain, computed by
+/// iterating to the fixed point (personalized-PageRank style). Converges
+/// geometrically at rate (1 - alpha); throws std::invalid_argument for
+/// alpha == 0 (no unique localized fixed point is sought then).
+Distribution originator_stationary(const Graph& g, VertexId originator,
+                                   double alpha, double tolerance = 1e-12,
+                                   std::uint32_t max_iterations = 10000);
+
+/// Mixing time of the lazy-modulated chain measured with the sampling
+/// method: smallest t with max-over-sources TVD(pi, p^(i) P'^t) <= epsilon,
+/// or UINT32_MAX if not reached within max_walk_length. The stationary
+/// distribution is the same degree distribution as the raw chain.
+std::uint32_t modulated_mixing_time(const Graph& g, double alpha,
+                                    double epsilon,
+                                    std::uint32_t num_sources,
+                                    std::uint32_t max_walk_length,
+                                    std::uint64_t seed);
+
+}  // namespace sntrust

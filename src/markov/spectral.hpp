@@ -1,0 +1,44 @@
+// Spectral machinery: second largest eigenvalue modulus (SLEM) of the
+// transition matrix and the Sinclair mixing-time bounds built from it
+// (paper Sec. III-C and Table I).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+struct SlemOptions {
+  std::uint32_t max_iterations = 2000;
+  /// Convergence threshold on the eigenvalue estimate between iterations.
+  double tolerance = 1e-9;
+  std::uint64_t seed = 7;
+};
+
+struct SlemResult {
+  /// mu = max(|lambda_2|, |lambda_n|) of P.
+  double mu = 0.0;
+  std::uint32_t iterations = 0;
+  bool converged = false;
+};
+
+/// Estimates the SLEM of the random-walk matrix P = D^{-1} A via power
+/// iteration on the similar symmetric operator N = D^{-1/2} A D^{-1/2}, with
+/// the known principal eigenvector (D^{1/2} 1) deflated. Requires a connected
+/// graph with >= 1 edge (throws std::invalid_argument otherwise).
+SlemResult second_largest_eigenvalue(const Graph& g,
+                                     const SlemOptions& options = {});
+
+/// Sinclair bounds on the mixing time T(epsilon) from mu (paper Sec. III-C):
+///   lower: (mu / (1 - mu)) * ln(1 / (2 epsilon))
+///   upper: (ln n + ln(1 / epsilon)) / (1 - mu)
+struct MixingBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Preconditions: 0 < mu < 1, 0 < epsilon < 1, n >= 2.
+MixingBounds sinclair_bounds(double mu, double epsilon, VertexId n);
+
+}  // namespace sntrust

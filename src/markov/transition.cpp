@@ -1,0 +1,42 @@
+#include "markov/transition.hpp"
+
+#include <stdexcept>
+
+namespace sntrust {
+
+void step_distribution(const Graph& g, const Distribution& p,
+                       Distribution& out) {
+  const VertexId n = g.num_vertices();
+  if (p.size() != n)
+    throw std::invalid_argument("step_distribution: size mismatch");
+  if (&p == &out)
+    throw std::invalid_argument("step_distribution: out must not alias p");
+  out.assign(n, 0.0);
+  const auto& offsets = g.offsets();
+  const auto& targets = g.targets();
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeIndex begin = offsets[v];
+    const EdgeIndex end = offsets[v + 1];
+    if (begin == end || p[v] == 0.0) continue;
+    const double share = p[v] / static_cast<double>(end - begin);
+    for (EdgeIndex i = begin; i < end; ++i) out[targets[i]] += share;
+  }
+}
+
+void step_distribution_lazy(const Graph& g, const Distribution& p,
+                            Distribution& out) {
+  step_distribution(g, p, out);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    out[v] = 0.5 * out[v] + 0.5 * p[v];
+}
+
+void evolve(const Graph& g, Distribution& p, std::uint32_t steps, bool lazy) {
+  Distribution buffer(p.size());
+  for (std::uint32_t s = 0; s < steps; ++s) {
+    if (lazy) step_distribution_lazy(g, p, buffer);
+    else step_distribution(g, p, buffer);
+    p.swap(buffer);
+  }
+}
+
+}  // namespace sntrust

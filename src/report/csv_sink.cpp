@@ -1,0 +1,21 @@
+#include "report/csv_sink.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace sntrust {
+
+std::string maybe_write_csv(const Table& table, const std::string& name) {
+  const char* dir = std::getenv("SNTRUST_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out{path};
+  if (!out)
+    throw std::runtime_error("maybe_write_csv: cannot open " + path);
+  table.print_csv(out);
+  if (!out) throw std::runtime_error("maybe_write_csv: write failed " + path);
+  return path;
+}
+
+}  // namespace sntrust

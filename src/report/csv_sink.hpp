@@ -1,0 +1,19 @@
+// Optional CSV sink for bench artifacts: when SNTRUST_CSV_DIR is set, every
+// table a bench passes through maybe_write_csv() is also written as
+// <dir>/<name>.csv, so the paper artifacts can be re-plotted without
+// scraping stdout.
+#pragma once
+
+#include <string>
+
+#include "report/table.hpp"
+
+namespace sntrust {
+
+/// Writes `table` to $SNTRUST_CSV_DIR/<name>.csv when the variable is set
+/// and non-empty; silently does nothing otherwise. Returns the path written
+/// (empty when skipped). Throws std::runtime_error when the directory is
+/// set but unwritable — a misconfigured sink should not silently drop data.
+std::string maybe_write_csv(const Table& table, const std::string& name);
+
+}  // namespace sntrust

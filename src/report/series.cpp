@@ -1,0 +1,44 @@
+#include "report/series.hpp"
+
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "report/table.hpp"
+#include "util/format.hpp"
+
+namespace sntrust {
+
+void SeriesSet::add_series(const std::string& name,
+                           const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("SeriesSet::add_series: x/y size mismatch");
+  series_.push_back({name, x, y});
+}
+
+void SeriesSet::print(std::ostream& out) const {
+  // Union of x values -> per-series y at that x (last write wins on
+  // duplicates within a series).
+  std::map<double, std::vector<std::string>> rows;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    for (std::size_t i = 0; i < series_[s].x.size(); ++i) {
+      auto& cells = rows[series_[s].x[i]];
+      cells.resize(series_.size());
+      cells[s] = compact(series_[s].y[i]);
+    }
+  }
+
+  std::vector<std::string> headers{x_label_};
+  for (const Series& s : series_) headers.push_back(s.name);
+  Table table{headers};
+  for (auto& [x, cells] : rows) {
+    std::vector<std::string> row{compact(x)};
+    cells.resize(series_.size());
+    for (const std::string& cell : cells) row.push_back(cell);
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+}  // namespace sntrust

@@ -1,0 +1,37 @@
+// Named-series ("figure") printer: renders (x, y) series the way the paper's
+// figures plot them, as aligned columns with one series per column, so bench
+// output can be eyeballed or piped into a plotting tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sntrust {
+
+class SeriesSet {
+ public:
+  /// `x_label` names the shared x axis.
+  explicit SeriesSet(std::string x_label) : x_label_(std::move(x_label)) {}
+
+  /// Adds one series; x/y must be the same length (throws otherwise).
+  void add_series(const std::string& name, const std::vector<double>& x,
+                  const std::vector<double>& y);
+
+  std::size_t num_series() const noexcept { return series_.size(); }
+
+  /// Prints a merged table over the union of x values; missing points are
+  /// blank. Values use %.6g.
+  void print(std::ostream& out) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+  };
+  std::string x_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace sntrust

@@ -1,0 +1,106 @@
+#include "sybil/attack.hpp"
+
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+AttackedGraph::AttackedGraph(const Graph& honest, const AttackParams& params) {
+  if (honest.num_vertices() < 2)
+    throw std::invalid_argument("AttackedGraph: honest graph too small");
+  if (!is_connected(honest))
+    throw std::invalid_argument("AttackedGraph: honest graph must be connected");
+  if (params.num_sybils == 0)
+    throw std::invalid_argument("AttackedGraph: need at least one Sybil");
+  if (params.attack_edges == 0)
+    throw std::invalid_argument("AttackedGraph: need at least one attack edge");
+
+  num_honest_ = honest.num_vertices();
+  num_sybils_ = params.num_sybils;
+  attack_edges_ = params.attack_edges;
+
+  Rng rng{params.seed};
+
+  // Sybil region: scale-free internal wiring (attacker's strongest play
+  // against walk-based defenses is a well-mixed region). Tiny regions fall
+  // back to a clique.
+  Graph sybil_region;
+  if (num_sybils_ > params.sybil_internal_degree + 1) {
+    sybil_region = barabasi_albert(num_sybils_, params.sybil_internal_degree,
+                                   rng());
+  } else {
+    GraphBuilder clique{num_sybils_};
+    for (VertexId u = 0; u < num_sybils_; ++u)
+      for (VertexId v = u + 1; v < num_sybils_; ++v) clique.add_edge(u, v);
+    sybil_region = clique.build();
+  }
+
+  GraphBuilder builder{num_honest_ + num_sybils_};
+  builder.reserve(honest.num_edges() + sybil_region.num_edges() +
+                  attack_edges_);
+  for (const Edge& e : honest.edges()) builder.add_edge(e.u, e.v);
+  for (const Edge& e : sybil_region.edges())
+    builder.add_edge(num_honest_ + e.u, num_honest_ + e.v);
+
+  // Honest endpoint chooser per attacker strategy.
+  std::vector<VertexId> endpoint_pool;
+  switch (params.strategy) {
+    case AttackStrategy::kRandom:
+      break;  // drawn uniformly below
+    case AttackStrategy::kTargetHubs:
+      // Degree-proportional pool: each vertex once per incident edge.
+      endpoint_pool.reserve(honest.targets().size());
+      for (VertexId v = 0; v < num_honest_; ++v)
+        for (VertexId i = 0; i < honest.degree(v); ++i)
+          endpoint_pool.push_back(v);
+      break;
+    case AttackStrategy::kSingleRegion:
+    case AttackStrategy::kNearSeed: {
+      if (params.target >= num_honest_)
+        throw std::invalid_argument("AttackedGraph: target out of range");
+      // Vertices in BFS order from the target; the pool is the smallest
+      // ball holding enough endpoints (SingleRegion: a community-sized
+      // ball; NearSeed: just enough vertices for the edge budget).
+      const BfsResult ball = bfs(honest, params.target);
+      const VertexId want =
+          params.strategy == AttackStrategy::kNearSeed
+              ? std::max<VertexId>(1, attack_edges_)
+              : std::max<VertexId>(attack_edges_, num_honest_ / 10);
+      for (std::uint32_t level = 0;
+           endpoint_pool.size() < want && level <= ball.eccentricity;
+           ++level) {
+        for (VertexId v = 0;
+             v < num_honest_ && endpoint_pool.size() < want; ++v)
+          if (ball.distances[v] == level) endpoint_pool.push_back(v);
+      }
+      break;
+    }
+  }
+
+  attack_endpoints_.reserve(attack_edges_);
+  std::uint32_t placed = 0;
+  while (placed < attack_edges_) {
+    const VertexId h =
+        endpoint_pool.empty()
+            ? static_cast<VertexId>(rng.uniform(num_honest_))
+            : endpoint_pool[rng.uniform(endpoint_pool.size())];
+    const auto s =
+        num_honest_ + static_cast<VertexId>(rng.uniform(num_sybils_));
+    const std::size_t before = builder.pending_edges();
+    builder.add_edge(h, s);
+    if (builder.pending_edges() == before) continue;  // defensive; u != v holds
+    attack_endpoints_.push_back(h);
+    ++placed;
+  }
+  combined_ = builder.build();
+  // Parallel attack edges collapse in build(); the protocol-level edge count
+  // is what the defenses bound against, so keep attack_edges_ as requested
+  // but note duplicates are rare (O(g^2 / (n_h * n_s))).
+}
+
+}  // namespace sntrust

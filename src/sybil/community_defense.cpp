@@ -1,0 +1,135 @@
+#include "sybil/community_defense.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace sntrust {
+
+CommunityExpansionResult community_expansion(const Graph& g,
+                                             VertexId seed_vertex) {
+  const VertexId n = g.num_vertices();
+  if (seed_vertex >= n)
+    throw std::out_of_range("community_expansion: seed out of range");
+  if (g.num_edges() == 0)
+    throw std::invalid_argument("community_expansion: graph has no edges");
+
+  CommunityExpansionResult result;
+  result.absorption_order.reserve(n);
+  result.attachment.assign(n, 0.0);
+
+  // inside_degree[v] = edges from v into the current community; a max-heap
+  // on attachment = inside_degree / degree drives the greedy absorption.
+  // Entries are (attachment, v) with lazy invalidation.
+  std::vector<std::uint32_t> inside_degree(n, 0);
+  std::vector<std::uint8_t> absorbed(n, 0);
+  std::priority_queue<std::pair<double, VertexId>> frontier;
+
+  const std::uint64_t total_volume = g.targets().size();  // 2m
+  std::uint64_t community_volume = 0;
+  std::uint64_t cut = 0;
+
+  const auto absorb = [&](VertexId v, double attachment) {
+    absorbed[v] = 1;
+    result.absorption_order.push_back(v);
+    result.attachment[v] = attachment;
+    community_volume += g.degree(v);
+    // Each neighbour edge flips cut membership.
+    for (const VertexId w : g.neighbors(v)) {
+      if (absorbed[w]) --cut;
+      else {
+        ++cut;
+        ++inside_degree[w];
+        frontier.push(
+            {static_cast<double>(inside_degree[w]) / g.degree(w), w});
+      }
+    }
+    const std::uint64_t other = total_volume - community_volume;
+    const std::uint64_t denominator =
+        std::min(community_volume, other);
+    result.conductance_curve.push_back(
+        denominator == 0
+            ? 1.0
+            : static_cast<double>(cut) / static_cast<double>(denominator));
+  };
+
+  absorb(seed_vertex, 1.0);
+  while (!frontier.empty()) {
+    const auto [attachment, v] = frontier.top();
+    frontier.pop();
+    if (absorbed[v]) continue;
+    // Lazy invalidation: only act on up-to-date entries.
+    const double current =
+        static_cast<double>(inside_degree[v]) / g.degree(v);
+    if (attachment + 1e-12 < current) continue;
+    absorb(v, current);
+  }
+
+  // Unreachable vertices (other components): appended with attachment 0.
+  for (VertexId v = 0; v < n; ++v)
+    if (!absorbed[v]) result.absorption_order.push_back(v);
+
+  // Defense ranking: conductance knee -> trusted community; everything else
+  // ranked by its edge attachment to that community.
+  std::size_t knee_index = 0;
+  double best = 2.0;
+  for (std::size_t i = 0; i < result.conductance_curve.size(); ++i) {
+    if (result.conductance_curve[i] < best) {
+      best = result.conductance_curve[i];
+      knee_index = i;
+    }
+  }
+  result.knee = static_cast<VertexId>(knee_index + 1);
+
+  std::vector<std::uint8_t> in_community(n, 0);
+  result.ranking.assign(result.absorption_order.begin(),
+                        result.absorption_order.begin() + result.knee);
+  for (const VertexId v : result.ranking) in_community[v] = 1;
+
+  std::vector<VertexId> outside;
+  outside.reserve(n - result.knee);
+  for (std::size_t i = result.knee; i < result.absorption_order.size(); ++i)
+    outside.push_back(result.absorption_order[i]);
+  std::vector<double> outside_attachment(n, 0.0);
+  for (const VertexId v : outside) {
+    std::uint32_t inside = 0;
+    for (const VertexId w : g.neighbors(v))
+      if (in_community[w]) ++inside;
+    outside_attachment[v] =
+        g.degree(v) == 0 ? 0.0
+                         : static_cast<double>(inside) / g.degree(v);
+  }
+  std::stable_sort(outside.begin(), outside.end(),
+                   [&](VertexId a, VertexId b) {
+                     return outside_attachment[a] > outside_attachment[b];
+                   });
+  result.ranking.insert(result.ranking.end(), outside.begin(), outside.end());
+  return result;
+}
+
+PairwiseEvaluation evaluate_community_defense(const AttackedGraph& attacked,
+                                              VertexId seed_vertex) {
+  if (seed_vertex >= attacked.num_honest())
+    throw std::invalid_argument(
+        "evaluate_community_defense: seed must be honest");
+  const CommunityExpansionResult result =
+      community_expansion(attacked.graph(), seed_vertex);
+
+  PairwiseEvaluation eval;
+  std::uint64_t honest_accepted = 0;
+  std::uint64_t sybil_accepted = 0;
+  const VertexId cutoff = attacked.num_honest();
+  for (VertexId i = 0; i < cutoff && i < result.ranking.size(); ++i) {
+    if (attacked.is_sybil(result.ranking[i])) ++sybil_accepted;
+    else ++honest_accepted;
+  }
+  eval.honest_trials = attacked.num_honest();
+  eval.sybil_trials = attacked.num_sybils();
+  eval.honest_accept_fraction =
+      static_cast<double>(honest_accepted) / attacked.num_honest();
+  eval.sybils_per_attack_edge = static_cast<double>(sybil_accepted) /
+                                attacked.num_attack_edges();
+  return eval;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,65 @@
+#include "sybil/eval.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sntrust {
+
+Ranking ranking_from_scores(const std::vector<double>& scores) {
+  Ranking order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+double ranking_overlap(const Ranking& a, const Ranking& b,
+                       std::uint32_t step) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("ranking_overlap: size mismatch");
+  const std::size_t n = a.size();
+  if (n == 0) return 1.0;
+  if (step == 0) step = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(n / 50));
+
+  std::unordered_set<VertexId> seen_a, seen_b;
+  seen_a.reserve(n);
+  seen_b.reserve(n);
+  double total = 0.0;
+  std::uint32_t checkpoints = 0;
+  std::size_t next_checkpoint = step;
+  std::size_t common = 0;  // |top-k(a) ∩ top-k(b)| maintained incrementally
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seen_b.count(a[i]) != 0) ++common;   // a[i] joined by earlier b's
+    seen_a.insert(a[i]);
+    if (seen_a.count(b[i]) != 0) ++common;   // b[i] matches a[0..i] incl. a[i]
+    seen_b.insert(b[i]);
+    if (i + 1 == next_checkpoint || i + 1 == n) {
+      total += static_cast<double>(common) / static_cast<double>(i + 1);
+      ++checkpoints;
+      if (i + 1 == next_checkpoint) next_checkpoint += step;
+    }
+  }
+  return checkpoints == 0 ? 1.0 : total / checkpoints;
+}
+
+double ranking_auc(const Ranking& ranking, const AttackedGraph& attacked) {
+  if (ranking.size() != attacked.graph().num_vertices())
+    throw std::invalid_argument("ranking_auc: ranking size mismatch");
+  const std::uint64_t honest = attacked.num_honest();
+  const std::uint64_t sybil = attacked.num_sybils();
+  // Count (honest, sybil) pairs ordered correctly: walk the ranking; each
+  // honest vertex encountered is "above" all sybils not yet seen.
+  std::uint64_t correct_pairs = 0;
+  std::uint64_t sybils_seen = 0;
+  for (const VertexId v : ranking) {
+    if (attacked.is_sybil(v)) ++sybils_seen;
+    else correct_pairs += sybil - sybils_seen;
+  }
+  return static_cast<double>(correct_pairs) /
+         (static_cast<double>(honest) * static_cast<double>(sybil));
+}
+
+}  // namespace sntrust

@@ -1,0 +1,39 @@
+// Shared evaluation types and ranking utilities for the Sybil defenses.
+//
+// Viswanath et al. (SIGCOMM 2010) showed that the walk-based defenses all
+// reduce to ranking vertices by how well-connected they are to the trusted
+// vertex; the ranking utilities here quantify that observation (ablation A2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sybil/attack.hpp"
+
+namespace sntrust {
+
+/// Acceptance rates of a pairwise (verifier, suspect) defense.
+struct PairwiseEvaluation {
+  double honest_accept_fraction = 0.0;
+  double sybils_per_attack_edge = 0.0;
+  std::uint32_t honest_trials = 0;
+  std::uint32_t sybil_trials = 0;
+};
+
+/// Vertices ordered from most to least trusted by a defense's score.
+using Ranking = std::vector<VertexId>;
+
+/// Ranking induced by descending `scores` (stable for ties).
+Ranking ranking_from_scores(const std::vector<double>& scores);
+
+/// Fraction of the top-k agreement between two rankings averaged over
+/// k = step, 2*step, ..., n (a simple rank-overlap curve summary in [0,1]).
+double ranking_overlap(const Ranking& a, const Ranking& b,
+                       std::uint32_t step = 0);
+
+/// Area under the ROC curve of a ranking against the Sybil ground truth:
+/// 1.0 = all honest vertices ranked above all Sybils, 0.5 = random.
+double ranking_auc(const Ranking& ranking, const AttackedGraph& attacked);
+
+}  // namespace sntrust

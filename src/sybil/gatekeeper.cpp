@@ -1,0 +1,170 @@
+#include "sybil/gatekeeper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/traversal.hpp"
+#include "markov/walker.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+TicketRun distribute_tickets(const Graph& g, VertexId source,
+                             std::uint64_t tickets) {
+  return distribute_tickets(g, source, tickets, bfs(g, source));
+}
+
+TicketRun distribute_tickets(const Graph& g, VertexId source,
+                             std::uint64_t tickets, const BfsResult& levels) {
+  if (source >= g.num_vertices())
+    throw std::out_of_range("distribute_tickets: source out of range");
+  if (tickets == 0)
+    throw std::invalid_argument("distribute_tickets: need >= 1 ticket");
+  if (levels.source != source ||
+      levels.distances.size() != g.num_vertices())
+    throw std::invalid_argument(
+        "distribute_tickets: BFS result does not match source/graph");
+
+  TicketRun run;
+  run.distributer = source;
+  run.tickets_sent = tickets;
+  run.reached.assign(g.num_vertices(), 0);
+  run.tickets_received.assign(g.num_vertices(), 0);
+  run.tickets_received[source] = tickets;
+
+  // Level-synchronous flood over the BFS DAG: a node consumes one ticket and
+  // forwards the remainder evenly to next-level neighbours. Ticket counts are
+  // tracked per vertex for the current level only.
+  std::vector<std::uint64_t> holding(g.num_vertices(), 0);
+  std::vector<VertexId> frontier{source};
+  holding[source] = tickets;
+
+  std::vector<VertexId> next_frontier;
+  std::vector<VertexId> forward;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    next_frontier.clear();
+    for (const VertexId v : frontier) {
+      std::uint64_t budget = holding[v];
+      holding[v] = 0;
+      if (budget == 0) continue;
+      // Consume one ticket: v is reached.
+      if (!run.reached[v]) {
+        run.reached[v] = 1;
+        ++run.vertices_reached;
+      }
+      --budget;
+      if (budget == 0) continue;
+      forward.clear();
+      for (const VertexId w : g.neighbors(v))
+        if (levels.distances[w] == depth + 1) forward.push_back(w);
+      if (forward.empty()) continue;  // dead end: tickets are lost
+      const std::uint64_t share = budget / forward.size();
+      std::uint64_t remainder = budget % forward.size();
+      for (const VertexId w : forward) {
+        std::uint64_t grant = share;
+        if (remainder > 0) { ++grant; --remainder; }
+        if (grant == 0) continue;
+        if (holding[w] == 0) next_frontier.push_back(w);
+        holding[w] += grant;
+        run.tickets_received[w] += grant;
+      }
+    }
+    frontier.swap(next_frontier);
+    ++depth;
+  }
+  return run;
+}
+
+TicketRun adaptive_distribute(const Graph& g, VertexId source,
+                              double reach_fraction) {
+  if (reach_fraction <= 0.0 || reach_fraction > 1.0)
+    throw std::invalid_argument(
+        "adaptive_distribute: reach_fraction must be in (0,1]");
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(reach_fraction * g.num_vertices()));
+  const std::uint64_t cap = 64ull * g.num_vertices() + 64;
+  const BfsResult levels = bfs(g, source);
+  std::uint64_t tickets = 2;
+  TicketRun run = distribute_tickets(g, source, tickets, levels);
+  while (run.vertices_reached < target && tickets < cap) {
+    tickets *= 2;
+    run = distribute_tickets(g, source, tickets, levels);
+  }
+  if (run.vertices_reached < target) return run;  // cap hit: best effort
+  // Binary-refine down to the minimal budget that still reaches the target —
+  // excess tickets only leak across attack edges without admitting more
+  // honest vertices.
+  std::uint64_t lo = tickets / 2, hi = tickets;
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    TicketRun attempt = distribute_tickets(g, source, mid, levels);
+    if (attempt.vertices_reached >= target) {
+      hi = mid;
+      run = std::move(attempt);
+    } else {
+      lo = mid;
+    }
+  }
+  return run;
+}
+
+GateKeeperResult run_gatekeeper(const Graph& g, VertexId controller,
+                                const GateKeeperParams& params) {
+  if (controller >= g.num_vertices())
+    throw std::out_of_range("run_gatekeeper: controller out of range");
+  if (params.num_distributers == 0)
+    throw std::invalid_argument("run_gatekeeper: need >= 1 distributer");
+  if (params.f_admit <= 0.0 || params.f_admit > 1.0)
+    throw std::invalid_argument("run_gatekeeper: f_admit must be in (0,1]");
+
+  std::uint32_t walk_length = params.sample_walk_length;
+  if (walk_length == 0) {
+    walk_length = 5;
+    for (VertexId x = g.num_vertices(); x > 1; x /= 2) ++walk_length;
+  }
+
+  GateKeeperResult out;
+  out.threshold = static_cast<std::uint32_t>(
+      std::ceil(params.f_admit * params.num_distributers));
+  out.admissions.assign(g.num_vertices(), 0);
+
+  RandomWalker walker{g, params.seed};
+  out.distributers.reserve(params.num_distributers);
+  for (std::uint32_t i = 0; i < params.num_distributers; ++i)
+    out.distributers.push_back(walker.walk_endpoint(controller, walk_length));
+
+  for (const VertexId d : out.distributers) {
+    const TicketRun run = adaptive_distribute(g, d, params.reach_fraction);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (run.reached[v]) ++out.admissions[v];
+  }
+  return out;
+}
+
+GateKeeperEvaluation evaluate_gatekeeper(const AttackedGraph& attacked,
+                                         VertexId controller,
+                                         const GateKeeperParams& params) {
+  if (controller >= attacked.num_honest())
+    throw std::invalid_argument(
+        "evaluate_gatekeeper: controller must be honest");
+  GateKeeperEvaluation eval;
+  eval.result = run_gatekeeper(attacked.graph(), controller, params);
+
+  std::uint64_t honest_admitted = 0;
+  std::uint64_t sybil_admitted = 0;
+  const VertexId n = attacked.graph().num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (!eval.result.admitted(v)) continue;
+    if (attacked.is_sybil(v)) ++sybil_admitted;
+    else ++honest_admitted;
+  }
+  eval.honest_accept_fraction =
+      static_cast<double>(honest_admitted) / attacked.num_honest();
+  eval.sybils_per_attack_edge = static_cast<double>(sybil_admitted) /
+                                attacked.num_attack_edges();
+  return eval;
+}
+
+}  // namespace sntrust

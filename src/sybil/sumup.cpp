@@ -1,0 +1,95 @@
+#include "sybil/sumup.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "flow/maxflow.hpp"
+#include "sybil/gatekeeper.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+SumUpResult run_sumup(const Graph& g, VertexId collector,
+                      const std::vector<VertexId>& voters,
+                      const SumUpParams& params) {
+  const VertexId n = g.num_vertices();
+  if (collector >= n)
+    throw std::out_of_range("run_sumup: collector out of range");
+  {
+    std::unordered_set<VertexId> distinct;
+    for (const VertexId v : voters) {
+      if (v >= n) throw std::out_of_range("run_sumup: voter out of range");
+      if (!distinct.insert(v).second)
+        throw std::invalid_argument("run_sumup: duplicate voter");
+    }
+  }
+
+  std::uint64_t c_max = params.expected_votes;
+  if (c_max == 0) c_max = std::max<std::uint64_t>(1, n / 20);
+
+  // Capacity assignment: ticket distribution from the collector defines the
+  // vote envelope. An arc x -> y carries 1 + tickets_received[y]: capacity
+  // concentrates toward the collector's ticketed core and degrades to 1 at
+  // the periphery — in particular across attack edges, whose Sybil endpoint
+  // holds no tickets.
+  const TicketRun tickets = distribute_tickets(g, collector, c_max);
+
+  FlowNetwork network{n + 1};  // extra node: virtual vote source
+  const std::uint32_t source = n;
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId w : g.neighbors(u)) {
+      // Each directed arc added once (u -> w for every ordered pair).
+      network.add_arc(u, w, 1 + tickets.tickets_received[w]);
+    }
+  }
+  for (const VertexId voter : voters)
+    if (voter != collector) network.add_arc(source, voter, 1);
+
+  SumUpResult result;
+  result.votes_cast = voters.size();
+  std::uint64_t collected = network.max_flow(source, collector);
+  // The collector's own vote (if it is a voter) always counts.
+  if (std::find(voters.begin(), voters.end(), collector) != voters.end())
+    ++collected;
+  result.votes_collected = collected;
+  return result;
+}
+
+SumUpEvaluation evaluate_sumup(const AttackedGraph& attacked,
+                               VertexId collector,
+                               std::uint32_t honest_voters,
+                               const SumUpParams& params) {
+  if (collector >= attacked.num_honest())
+    throw std::invalid_argument("evaluate_sumup: collector must be honest");
+
+  SumUpEvaluation eval;
+  Rng rng{params.seed};
+
+  // Honest experiment: sampled honest voters.
+  const std::uint32_t sample =
+      std::min<std::uint32_t>(honest_voters, attacked.num_honest());
+  std::vector<VertexId> voters =
+      rng.sample_without_replacement(attacked.num_honest(), sample);
+  const SumUpResult honest_run =
+      run_sumup(attacked.graph(), collector, voters, params);
+  eval.honest_collect_fraction =
+      honest_run.votes_cast == 0
+          ? 0.0
+          : static_cast<double>(honest_run.votes_collected) /
+                static_cast<double>(honest_run.votes_cast);
+
+  // Sybil experiment: every Sybil votes.
+  std::vector<VertexId> sybil_voters;
+  sybil_voters.reserve(attacked.num_sybils());
+  for (VertexId s = 0; s < attacked.num_sybils(); ++s)
+    sybil_voters.push_back(attacked.num_honest() + s);
+  const SumUpResult sybil_run =
+      run_sumup(attacked.graph(), collector, sybil_voters, params);
+  eval.sybil_votes_per_attack_edge =
+      static_cast<double>(sybil_run.votes_collected) /
+      attacked.num_attack_edges();
+  return eval;
+}
+
+}  // namespace sntrust

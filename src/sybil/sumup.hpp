@@ -1,0 +1,48 @@
+// SumUp (Tran, Min, Li, Subramanian — NSDI 2009): Sybil-resilient online
+// content voting. A vote collector assigns link capacities via ticket
+// distribution inside an envelope around itself and collects votes as max
+// flow; Sybil votes are bounded by the attack-edge capacity into the
+// envelope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sybil/attack.hpp"
+
+namespace sntrust {
+
+struct SumUpParams {
+  /// Expected number of honest votes to collect; capacities scale with it
+  /// (the protocol's C_max). 0 means n / 20.
+  std::uint64_t expected_votes = 0;
+  std::uint64_t seed = 1;
+};
+
+struct SumUpResult {
+  std::uint64_t votes_cast = 0;       ///< voters that attempted to vote
+  std::uint64_t votes_collected = 0;  ///< votes that reached the collector
+};
+
+/// Collects one vote per vertex in `voters` (distinct ids) at `collector`.
+/// Capacities: ticket distribution from the collector assigns each vertex a
+/// capacity of tickets+1 on its inbound direction (envelope), 1 outside.
+SumUpResult run_sumup(const Graph& g, VertexId collector,
+                      const std::vector<VertexId>& voters,
+                      const SumUpParams& params);
+
+/// Vote-collection evaluation under attack: fraction of honest votes
+/// collected, and Sybil votes collected per attack edge when every Sybil
+/// votes.
+struct SumUpEvaluation {
+  double honest_collect_fraction = 0.0;
+  double sybil_votes_per_attack_edge = 0.0;
+};
+
+SumUpEvaluation evaluate_sumup(const AttackedGraph& attacked,
+                               VertexId collector,
+                               std::uint32_t honest_voters,
+                               const SumUpParams& params);
+
+}  // namespace sntrust

@@ -1,0 +1,96 @@
+#include "sybil/sybilguard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+SybilGuard::SybilGuard(const Graph& g, const SybilGuardParams& params)
+    : graph_(g), tables_(g, params.seed) {
+  if (params.route_length != 0) {
+    route_length_ = params.route_length;
+  } else {
+    const double n = std::max<double>(2.0, g.num_vertices());
+    route_length_ = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(n * std::log2(n))));
+  }
+}
+
+std::vector<VertexId> SybilGuard::route_of(VertexId v,
+                                           std::uint32_t slot) const {
+  return tables_.route(v, slot, route_length_);
+}
+
+bool SybilGuard::accepts(VertexId verifier, VertexId suspect) const {
+  const std::uint32_t deg_v = graph_.degree(verifier);
+  const std::uint32_t deg_s = graph_.degree(suspect);
+  if (deg_v == 0 || deg_s == 0) return false;
+
+  // Union of vertices on all suspect routes.
+  std::unordered_set<VertexId> suspect_vertices;
+  for (std::uint32_t slot = 0; slot < deg_s; ++slot) {
+    for (const VertexId v : tables_.route(suspect, slot, route_length_))
+      suspect_vertices.insert(v);
+  }
+
+  // Majority of verifier routes must intersect.
+  std::uint32_t intersected = 0;
+  for (std::uint32_t slot = 0; slot < deg_v; ++slot) {
+    for (const VertexId v : tables_.route(verifier, slot, route_length_)) {
+      if (suspect_vertices.count(v) != 0) {
+        ++intersected;
+        break;
+      }
+    }
+  }
+  return intersected * 2 > deg_v;
+}
+
+PairwiseEvaluation evaluate_sybilguard(const AttackedGraph& attacked,
+                                       VertexId verifier,
+                                       const SybilGuardParams& params,
+                                       std::uint32_t honest_samples,
+                                       std::uint32_t sybil_samples,
+                                       std::uint64_t seed) {
+  const SybilGuard guard{attacked.graph(), params};
+  Rng rng{seed};
+
+  PairwiseEvaluation eval;
+  std::uint32_t honest_accepted = 0;
+  const std::uint32_t honest_trials =
+      std::min<std::uint32_t>(honest_samples, attacked.num_honest());
+  for (std::uint32_t i = 0; i < honest_trials; ++i) {
+    const auto suspect =
+        static_cast<VertexId>(rng.uniform(attacked.num_honest()));
+    if (guard.accepts(verifier, suspect)) ++honest_accepted;
+  }
+
+  std::uint32_t sybil_accepted = 0;
+  const std::uint32_t sybil_trials =
+      std::min<std::uint32_t>(sybil_samples, attacked.num_sybils());
+  for (std::uint32_t i = 0; i < sybil_trials; ++i) {
+    const auto suspect = attacked.num_honest() +
+                         static_cast<VertexId>(rng.uniform(attacked.num_sybils()));
+    if (guard.accepts(verifier, suspect)) ++sybil_accepted;
+  }
+
+  eval.honest_trials = honest_trials;
+  eval.sybil_trials = sybil_trials;
+  eval.honest_accept_fraction =
+      honest_trials == 0
+          ? 0.0
+          : static_cast<double>(honest_accepted) / honest_trials;
+  // Scale the sampled Sybil acceptance rate up to the full region, then
+  // normalize per attack edge (the defenses' guarantee unit).
+  const double accepted_rate =
+      sybil_trials == 0 ? 0.0
+                        : static_cast<double>(sybil_accepted) / sybil_trials;
+  eval.sybils_per_attack_edge = accepted_rate * attacked.num_sybils() /
+                                attacked.num_attack_edges();
+  return eval;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,56 @@
+// SybilGuard (Yu, Kaminsky, Gibbons, Flaxman — SIGCOMM 2006): the first
+// random-route Sybil defense, used here as the baseline the paper's related
+// work compares against.
+//
+// Every vertex fixes a random permutation routing table; a verifier accepts
+// a suspect when the verifier's random route (length w = Theta(sqrt(n log n)))
+// intersects the suspect's route. Honest routes stay in the honest region
+// w.h.p.; Sybil routes must cross an attack edge to intersect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "markov/walker.hpp"
+#include "sybil/attack.hpp"
+#include "sybil/eval.hpp"
+
+namespace sntrust {
+
+struct SybilGuardParams {
+  /// Route length; 0 means ceil(sqrt(n * log2(n))).
+  std::uint32_t route_length = 0;
+  std::uint64_t seed = 1;
+};
+
+class SybilGuard {
+ public:
+  SybilGuard(const Graph& g, const SybilGuardParams& params);
+
+  std::uint32_t route_length() const noexcept { return route_length_; }
+
+  /// True when verifier's and suspect's routes intersect at some vertex
+  /// (each party launches one route per incident edge, as in the protocol;
+  /// acceptance requires a majority of the verifier's routes to be
+  /// intersected by at least one suspect route).
+  bool accepts(VertexId verifier, VertexId suspect) const;
+
+  /// Vertices on the route from `v` leaving through `slot`.
+  std::vector<VertexId> route_of(VertexId v, std::uint32_t slot) const;
+
+ private:
+  const Graph& graph_;
+  RouteTables tables_;
+  std::uint32_t route_length_;
+};
+
+PairwiseEvaluation evaluate_sybilguard(const AttackedGraph& attacked,
+                                       VertexId verifier,
+                                       const SybilGuardParams& params,
+                                       std::uint32_t honest_samples,
+                                       std::uint32_t sybil_samples,
+                                       std::uint64_t seed);
+
+}  // namespace sntrust

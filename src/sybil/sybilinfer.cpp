@@ -1,0 +1,93 @@
+#include "sybil/sybilinfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/distribution.hpp"
+#include "markov/walker.hpp"
+
+namespace sntrust {
+
+SybilInferResult run_sybilinfer(const Graph& g, VertexId seed_vertex,
+                                const SybilInferParams& params) {
+  const VertexId n = g.num_vertices();
+  if (seed_vertex >= n)
+    throw std::out_of_range("run_sybilinfer: seed vertex out of range");
+  if (n < 2 || g.num_edges() == 0)
+    throw std::invalid_argument("run_sybilinfer: graph too small");
+
+  std::uint32_t walk_length = params.walk_length;
+  if (walk_length == 0) {
+    walk_length = 2;
+    for (VertexId x = n; x > 1; x /= 2) ++walk_length;
+  }
+  std::uint64_t traces = params.num_traces;
+  if (traces == 0) traces = 20ull * n;
+
+  SybilInferResult out;
+  std::vector<std::uint64_t> hits(n, 0);
+  RandomWalker walker{g, params.seed};
+  for (std::uint64_t t = 0; t < traces; ++t)
+    ++hits[walker.walk_endpoint(seed_vertex, walk_length)];
+
+  const Distribution pi = stationary_distribution(g);
+  out.scores.resize(n);
+  for (VertexId v = 0; v < n; ++v)
+    out.scores[v] =
+        static_cast<double>(hits[v]) / (static_cast<double>(traces) * pi[v]);
+
+  out.ranking = ranking_from_scores(out.scores);
+
+  // Cut at the largest relative drop in the smoothed sorted-score curve,
+  // ignoring the noisy extremes (first/last 2%).
+  const auto lo = static_cast<std::size_t>(0.02 * n) + 1;
+  const auto hi = n - std::min<std::size_t>(n - 1, lo);
+  double best_drop = 0.0;
+  std::size_t best_cut = n;  // default: accept everyone
+  for (std::size_t i = lo; i + 1 < hi; ++i) {
+    const double here = out.scores[out.ranking[i]];
+    const double next = out.scores[out.ranking[i + 1]];
+    if (here <= 0.0) break;
+    const double drop = (here - next) / here;
+    if (drop > best_drop) {
+      best_drop = drop;
+      best_cut = i + 1;
+    }
+  }
+  // Require a decisive drop; otherwise treat the graph as all-honest.
+  if (best_drop < 0.5) best_cut = n;
+
+  out.cut = static_cast<VertexId>(best_cut);
+  out.accepted.assign(n, 0);
+  for (std::size_t i = 0; i < best_cut; ++i) out.accepted[out.ranking[i]] = 1;
+  return out;
+}
+
+PairwiseEvaluation evaluate_sybilinfer(const AttackedGraph& attacked,
+                                       VertexId seed_vertex,
+                                       const SybilInferParams& params) {
+  if (seed_vertex >= attacked.num_honest())
+    throw std::invalid_argument("evaluate_sybilinfer: seed must be honest");
+  const SybilInferResult result =
+      run_sybilinfer(attacked.graph(), seed_vertex, params);
+
+  PairwiseEvaluation eval;
+  std::uint64_t honest_accepted = 0;
+  std::uint64_t sybil_accepted = 0;
+  const VertexId n = attacked.graph().num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (!result.accepted[v]) continue;
+    if (attacked.is_sybil(v)) ++sybil_accepted;
+    else ++honest_accepted;
+  }
+  eval.honest_trials = attacked.num_honest();
+  eval.sybil_trials = attacked.num_sybils();
+  eval.honest_accept_fraction =
+      static_cast<double>(honest_accepted) / attacked.num_honest();
+  eval.sybils_per_attack_edge = static_cast<double>(sybil_accepted) /
+                                attacked.num_attack_edges();
+  return eval;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,145 @@
+#include "sybil/sybillimit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "markov/walker.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust {
+
+namespace {
+
+std::uint64_t encode_edge(VertexId u, VertexId w) {
+  return (static_cast<std::uint64_t>(u) << 32) | w;
+}
+
+}  // namespace
+
+SybilLimit::SybilLimit(const Graph& g, const SybilLimitParams& params)
+    : graph_(g), balance_slack_(params.balance_slack), seed_(params.seed) {
+  if (params.trust_alpha < 0.0 || params.trust_alpha >= 1.0)
+    throw std::invalid_argument("SybilLimit: trust_alpha must be in [0,1)");
+  if (params.route_length != 0) {
+    route_length_ = params.route_length;
+  } else {
+    route_length_ = 4;
+    for (VertexId x = g.num_vertices(); x > 1; x /= 2) ++route_length_;
+  }
+  // Trust modulation: the modulated chain mixes 1/(1-alpha) slower, so the
+  // protocol compensates with proportionally longer routes.
+  if (params.trust_alpha > 0.0)
+    route_length_ = static_cast<std::uint32_t>(
+        std::ceil(route_length_ / (1.0 - params.trust_alpha)));
+  const double m = std::max<double>(1.0, static_cast<double>(g.num_edges()));
+  num_routes_ = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::ceil(params.route_factor * std::sqrt(m))));
+}
+
+std::vector<std::uint64_t> SybilLimit::tails_of(VertexId v) const {
+  // Each of the r routes uses an independent routing-table instance, as in
+  // the protocol. Instances are implicit (HashedRoutes), and the first slot
+  // of route i from v is drawn from a per-(vertex, instance) stream so that
+  // repeated queries agree.
+  std::vector<std::uint64_t> tails;
+  tails.reserve(num_routes_);
+  const std::uint32_t deg = graph_.degree(v);
+  if (deg == 0) return tails;
+  const HashedRoutes routes{graph_, seed_};
+  for (std::uint32_t i = 0; i < num_routes_; ++i) {
+    Rng slot_rng{seed_ ^ (0x517cc1b727220a95ULL * (i + 1)) ^
+                 (0x2545F4914F6CDD1DULL * (v + 1))};
+    const auto slot = static_cast<std::uint32_t>(slot_rng.uniform(deg));
+    const auto [tail_u, tail_w] = routes.route_tail(v, slot, route_length_, i);
+    tails.push_back(encode_edge(tail_u, tail_w));
+  }
+  return tails;
+}
+
+SybilLimit::Verifier::Verifier(const SybilLimit& parent, VertexId verifier)
+    : parent_(parent), verifier_(verifier) {
+  const std::vector<std::uint64_t> tails = parent.tails_of(verifier);
+  tails_.reserve(tails.size());
+  for (std::uint32_t i = 0; i < tails.size(); ++i)
+    tails_.push_back({tails[i], i});
+  std::sort(tails_.begin(), tails_.end());
+  load_.assign(tails.size(), 0);
+}
+
+bool SybilLimit::Verifier::accepts(VertexId suspect) {
+  const std::vector<std::uint64_t> suspect_tails = parent_.tails_of(suspect);
+  if (suspect_tails.empty() || tails_.empty()) return false;
+
+  // Intersection condition: some suspect tail equals one of the verifier's
+  // tails. Collect all candidate verifier tail indices.
+  std::vector<std::uint32_t> candidates;
+  for (const std::uint64_t tail : suspect_tails) {
+    auto it = std::lower_bound(
+        tails_.begin(), tails_.end(), std::make_pair(tail, 0u));
+    while (it != tails_.end() && it->first == tail) {
+      candidates.push_back(it->second);
+      ++it;
+    }
+  }
+  if (candidates.empty()) return false;
+
+  // Balance condition: assign to the least-loaded intersecting tail; reject
+  // when that tail is already above the allowed bound
+  // h = max(h0, (1 + slack) * average_load).
+  std::uint32_t best = candidates.front();
+  for (const std::uint32_t c : candidates)
+    if (load_[c] < load_[best]) best = c;
+  const double average =
+      static_cast<double>(accepted_total_) / static_cast<double>(load_.size());
+  const double bound =
+      std::max(4.0, (1.0 + parent_.balance_slack_) * average);
+  if (static_cast<double>(load_[best]) + 1.0 > bound) return false;
+  ++load_[best];
+  ++accepted_total_;
+  return true;
+}
+
+PairwiseEvaluation evaluate_sybillimit(const AttackedGraph& attacked,
+                                       VertexId verifier,
+                                       const SybilLimitParams& params,
+                                       std::uint32_t honest_samples,
+                                       std::uint32_t sybil_samples,
+                                       std::uint64_t seed) {
+  const SybilLimit limit{attacked.graph(), params};
+  SybilLimit::Verifier v = limit.make_verifier(verifier);
+  Rng rng{seed};
+
+  PairwiseEvaluation eval;
+  std::uint32_t honest_accepted = 0;
+  const std::uint32_t honest_trials =
+      std::min<std::uint32_t>(honest_samples, attacked.num_honest());
+  for (std::uint32_t i = 0; i < honest_trials; ++i) {
+    const auto suspect =
+        static_cast<VertexId>(rng.uniform(attacked.num_honest()));
+    if (v.accepts(suspect)) ++honest_accepted;
+  }
+
+  std::uint32_t sybil_accepted = 0;
+  const std::uint32_t sybil_trials =
+      std::min<std::uint32_t>(sybil_samples, attacked.num_sybils());
+  for (std::uint32_t i = 0; i < sybil_trials; ++i) {
+    const auto suspect = attacked.num_honest() +
+                         static_cast<VertexId>(rng.uniform(attacked.num_sybils()));
+    if (v.accepts(suspect)) ++sybil_accepted;
+  }
+
+  eval.honest_trials = honest_trials;
+  eval.sybil_trials = sybil_trials;
+  eval.honest_accept_fraction =
+      honest_trials == 0
+          ? 0.0
+          : static_cast<double>(honest_accepted) / honest_trials;
+  const double accepted_rate =
+      sybil_trials == 0 ? 0.0
+                        : static_cast<double>(sybil_accepted) / sybil_trials;
+  eval.sybils_per_attack_edge = accepted_rate * attacked.num_sybils() /
+                                attacked.num_attack_edges();
+  return eval;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,30 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sntrust {
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(value);
+}
+
+double bench_scale() {
+  return std::clamp(env_double("SNTRUST_SCALE", 1.0), 0.01, 100.0);
+}
+
+}  // namespace sntrust

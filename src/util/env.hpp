@@ -1,0 +1,24 @@
+// Environment-variable configuration helpers for benches and examples.
+//
+// The benchmark harness scales its workloads with SNTRUST_SCALE and similar
+// knobs; these helpers centralize the parsing so every binary treats the
+// variables identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sntrust {
+
+/// Returns the value of `name` parsed as a double, or `fallback` when the
+/// variable is unset or unparsable.
+double env_double(const std::string& name, double fallback);
+
+/// Returns the value of `name` parsed as a 64-bit integer, or `fallback`.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Global workload scale for benches: SNTRUST_SCALE (default 1.0, clamped to
+/// [0.01, 100]). Dataset analogue sizes are multiplied by this.
+double bench_scale();
+
+}  // namespace sntrust

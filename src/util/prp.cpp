@@ -1,0 +1,76 @@
+#include "util/prp.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace sntrust {
+
+namespace {
+
+std::uint32_t mix(std::uint32_t value, std::uint64_t key) {
+  std::uint64_t z = value + key;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::uint32_t>(z ^ (z >> 31));
+}
+
+}  // namespace
+
+KeyedPermutation::KeyedPermutation(std::uint32_t domain, std::uint64_t key)
+    : domain_(domain) {
+  if (domain == 0)
+    throw std::invalid_argument("KeyedPermutation: domain must be >= 1");
+  // Pad the domain to 2^(2 * half_bits_) and cycle-walk back into range.
+  total_bits_ = std::max<std::uint32_t>(2, std::bit_width(domain - 1));
+  half_bits_ = (total_bits_ + 1) / 2;
+  std::uint64_t k = key;
+  for (auto& rk : round_keys_) {
+    k += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = k;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    rk = z ^ (z >> 27);
+  }
+}
+
+std::uint32_t KeyedPermutation::feistel(std::uint32_t x, bool forward) const {
+  const std::uint32_t hb = half_bits_;
+  const std::uint32_t hmask = (1u << hb) - 1;
+  std::uint32_t left = (x >> hb) & hmask;
+  std::uint32_t right = x & hmask;
+  if (forward) {
+    for (int round = 0; round < 4; ++round) {
+      const std::uint32_t next = left ^ (mix(right, round_keys_[round]) & hmask);
+      left = right;
+      right = next;
+    }
+  } else {
+    for (int round = 3; round >= 0; --round) {
+      const std::uint32_t prev = right ^ (mix(left, round_keys_[round]) & hmask);
+      right = left;
+      left = prev;
+    }
+  }
+  return (left << hb) | right;
+}
+
+std::uint32_t KeyedPermutation::apply(std::uint32_t x) const {
+  if (x >= domain_)
+    throw std::out_of_range("KeyedPermutation::apply: x out of domain");
+  std::uint32_t y = x;
+  do {
+    y = feistel(y, /*forward=*/true);
+  } while (y >= domain_);
+  return y;
+}
+
+std::uint32_t KeyedPermutation::invert(std::uint32_t y) const {
+  if (y >= domain_)
+    throw std::out_of_range("KeyedPermutation::invert: y out of domain");
+  std::uint32_t x = y;
+  do {
+    x = feistel(x, /*forward=*/false);
+  } while (x >= domain_);
+  return x;
+}
+
+}  // namespace sntrust

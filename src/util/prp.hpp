@@ -1,0 +1,37 @@
+// Keyed pseudo-random permutation over a small integer domain [0, n).
+//
+// Implemented as a 4-round Feistel network over the next power of two with
+// cycle-walking, so evaluation needs no per-domain storage. SybilLimit uses
+// one logical routing-table instance per random route (r = sqrt(m) of them);
+// materializing them would cost O(r * m) memory, while this evaluates any
+// instance's permutation entry on demand in O(1).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace sntrust {
+
+class KeyedPermutation {
+ public:
+  /// Permutation of [0, domain). Precondition: domain >= 1.
+  KeyedPermutation(std::uint32_t domain, std::uint64_t key);
+
+  std::uint32_t domain() const noexcept { return domain_; }
+
+  /// pi(x). Precondition: x < domain.
+  std::uint32_t apply(std::uint32_t x) const;
+
+  /// pi^{-1}(y). Precondition: y < domain.
+  std::uint32_t invert(std::uint32_t y) const;
+
+ private:
+  std::uint32_t feistel(std::uint32_t x, bool forward) const;
+
+  std::uint32_t domain_;
+  std::uint32_t half_bits_;    ///< bits of the right half
+  std::uint32_t total_bits_;   ///< bits of the padded power-of-two domain
+  std::uint64_t round_keys_[4];
+};
+
+}  // namespace sntrust

@@ -1,0 +1,104 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+
+namespace sntrust {
+
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform: bound must be > 0");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_in(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_in: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_real() noexcept {
+  // 53 random bits -> [0,1) double with full mantissa resolution.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("Rng::bernoulli: p must be in [0,1]");
+  return uniform_real() < p;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  if (!(p > 0.0) || p > 1.0)
+    throw std::invalid_argument("Rng::geometric: p must be in (0,1]");
+  if (p == 1.0) return 0;
+  const double u = uniform_real();
+  // floor(log(1-u) / log(1-p)); 1-u in (0,1], so log is well-defined.
+  return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  if (k > n)
+    throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Dense Fisher-Yates prefix when sampling a large fraction; hash-set
+  // rejection when sparse, to avoid O(n) setup for huge n.
+  if (k * 3 >= n) {
+    std::vector<std::uint32_t> all(n);
+    for (std::uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto j = i + static_cast<std::uint32_t>(uniform(n - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const auto v = static_cast<std::uint32_t>(uniform(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace sntrust

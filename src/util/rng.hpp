@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for all stochastic components.
+//
+// Every stochastic algorithm in sntrust takes an explicit 64-bit seed and
+// derives its randomness from an Rng instance, so measurements are exactly
+// reproducible run-to-run and machine-to-machine (no std::random_device, and
+// no reliance on the unspecified behaviour of std::uniform_int_distribution).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sntrust {
+
+/// xoshiro256** generator seeded via splitmix64.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can be used with
+/// standard facilities, but the helpers below (uniform/uniform_real/...)
+/// are preferred because their output is fully specified.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// Re-initializes the state from `seed` via splitmix64.
+  void reseed(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_real() noexcept;
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Geometric "skip" count: number of failures before the first success of
+  /// a Bernoulli(p) sequence. Used by the V-E edge-sampling generators.
+  /// Precondition: 0 < p <= 1.
+  std::uint64_t geometric(double p);
+
+  /// A fresh generator whose seed is derived from this one's stream;
+  /// convenient for giving sub-tasks independent streams.
+  Rng split() noexcept { return Rng{(*this)()}; }
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample k distinct values from [0, n) in uniformly random order.
+  /// Precondition: k <= n.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace sntrust

@@ -1,0 +1,185 @@
+#include "sybil/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/traversal.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+Graph honest_graph() {
+  return largest_component(barabasi_albert(300, 3, 111)).graph;
+}
+
+TEST(AttackedGraph, LayoutAndLabels) {
+  AttackParams params;
+  params.num_sybils = 50;
+  params.attack_edges = 10;
+  const Graph honest = honest_graph();
+  const AttackedGraph attacked{honest, params};
+
+  EXPECT_EQ(attacked.num_honest(), honest.num_vertices());
+  EXPECT_EQ(attacked.num_sybils(), 50u);
+  EXPECT_EQ(attacked.graph().num_vertices(),
+            honest.num_vertices() + 50u);
+  for (VertexId v = 0; v < attacked.num_honest(); ++v)
+    EXPECT_FALSE(attacked.is_sybil(v));
+  for (VertexId v = attacked.num_honest();
+       v < attacked.graph().num_vertices(); ++v)
+    EXPECT_TRUE(attacked.is_sybil(v));
+}
+
+TEST(AttackedGraph, HonestRegionUnchanged) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 40;
+  params.attack_edges = 5;
+  const AttackedGraph attacked{honest, params};
+  // Every honest edge must still exist; honest-honest edges unchanged.
+  for (const Edge& e : honest.edges())
+    EXPECT_TRUE(attacked.graph().has_edge(e.u, e.v));
+}
+
+TEST(AttackedGraph, AttackEdgeCountApproximate) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 100;
+  params.attack_edges = 25;
+  const AttackedGraph attacked{honest, params};
+  // Count realized honest<->sybil edges (duplicates may collapse).
+  std::uint32_t realized = 0;
+  for (VertexId v = 0; v < attacked.num_honest(); ++v)
+    for (const VertexId w : attacked.graph().neighbors(v))
+      if (attacked.is_sybil(w)) ++realized;
+  EXPECT_LE(realized, 25u);
+  EXPECT_GE(realized, 23u);  // collisions are rare at this density
+  EXPECT_EQ(attacked.attack_endpoints().size(), 25u);
+}
+
+TEST(AttackedGraph, SybilRegionIsWired) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 200;
+  params.attack_edges = 4;
+  params.sybil_internal_degree = 3;
+  const AttackedGraph attacked{honest, params};
+  std::uint64_t internal_half_edges = 0;
+  for (VertexId v = attacked.num_honest();
+       v < attacked.graph().num_vertices(); ++v)
+    for (const VertexId w : attacked.graph().neighbors(v))
+      if (attacked.is_sybil(w)) ++internal_half_edges;
+  EXPECT_GT(internal_half_edges / 2, 400u);  // ~3 per sybil
+}
+
+TEST(AttackedGraph, TinySybilRegionIsClique) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 3;
+  params.attack_edges = 2;
+  params.sybil_internal_degree = 5;  // bigger than region: clique fallback
+  const AttackedGraph attacked{honest, params};
+  const VertexId base = attacked.num_honest();
+  EXPECT_TRUE(attacked.graph().has_edge(base, base + 1));
+  EXPECT_TRUE(attacked.graph().has_edge(base, base + 2));
+  EXPECT_TRUE(attacked.graph().has_edge(base + 1, base + 2));
+}
+
+TEST(AttackedGraph, CombinedGraphIsConnected) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 30;
+  params.attack_edges = 3;
+  const AttackedGraph attacked{honest, params};
+  EXPECT_TRUE(is_connected(attacked.graph()));
+}
+
+TEST(AttackedGraph, DeterministicInSeed) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 30;
+  params.attack_edges = 3;
+  params.seed = 77;
+  const AttackedGraph a{honest, params};
+  const AttackedGraph b{honest, params};
+  EXPECT_EQ(a.graph(), b.graph());
+}
+
+TEST(AttackedGraph, HubStrategyHitsHigherDegreeEndpoints) {
+  const Graph honest = honest_graph();
+  AttackParams random_attack;
+  random_attack.num_sybils = 60;
+  random_attack.attack_edges = 40;
+  random_attack.seed = 42;
+  AttackParams hub_attack = random_attack;
+  hub_attack.strategy = AttackStrategy::kTargetHubs;
+
+  const auto mean_endpoint_degree = [&](const AttackParams& params) {
+    const AttackedGraph attacked{honest, params};
+    double total = 0.0;
+    for (const VertexId v : attacked.attack_endpoints())
+      total += honest.degree(v);
+    return total / attacked.attack_endpoints().size();
+  };
+  EXPECT_GT(mean_endpoint_degree(hub_attack),
+            1.5 * mean_endpoint_degree(random_attack));
+}
+
+TEST(AttackedGraph, NearSeedStrategyClustersAroundTarget) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 40;
+  params.attack_edges = 10;
+  params.strategy = AttackStrategy::kNearSeed;
+  params.target = 5;
+  params.seed = 43;
+  const AttackedGraph attacked{honest, params};
+  const BfsResult distances = bfs(honest, 5);
+  for (const VertexId v : attacked.attack_endpoints())
+    EXPECT_LE(distances.distances[v], 2u);
+}
+
+TEST(AttackedGraph, SingleRegionStrategyStaysInOneBall) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 40;
+  params.attack_edges = 20;
+  params.strategy = AttackStrategy::kSingleRegion;
+  params.target = 0;
+  params.seed = 44;
+  const AttackedGraph attacked{honest, params};
+  // All endpoints within the ball holding ~n/10 closest vertices.
+  const BfsResult distances = bfs(honest, 0);
+  std::uint32_t worst = 0;
+  for (const VertexId v : attacked.attack_endpoints())
+    worst = std::max(worst, distances.distances[v]);
+  EXPECT_LE(worst, 3u);
+}
+
+TEST(AttackedGraph, StrategyTargetOutOfRangeThrows) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 10;
+  params.attack_edges = 2;
+  params.strategy = AttackStrategy::kNearSeed;
+  params.target = honest.num_vertices() + 5;
+  EXPECT_THROW(AttackedGraph(honest, params), std::invalid_argument);
+}
+
+TEST(AttackedGraph, BadParamsThrow) {
+  const Graph honest = honest_graph();
+  AttackParams params;
+  params.num_sybils = 0;
+  EXPECT_THROW(AttackedGraph(honest, params), std::invalid_argument);
+  params.num_sybils = 10;
+  params.attack_edges = 0;
+  EXPECT_THROW(AttackedGraph(honest, params), std::invalid_argument);
+  params.attack_edges = 1;
+  EXPECT_THROW(AttackedGraph(testing::disconnected_graph(), params),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,89 @@
+#include "expansion/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "expansion/expansion_profile.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::barbell_graph;
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::petersen_graph;
+using testing::star_graph;
+
+TEST(BruteForceExpansion, CompleteGraph) {
+  // Any S of size s has all n-s others as neighbours; min over s <= n/2 is
+  // (n - n/2) / (n/2).
+  EXPECT_DOUBLE_EQ(exact_vertex_expansion(complete_graph(6)), 3.0 / 3.0);
+  EXPECT_DOUBLE_EQ(exact_vertex_expansion(complete_graph(5)), 3.0 / 2.0);
+}
+
+TEST(BruteForceExpansion, CycleWorstCaseIsArc) {
+  // Worst S on C_8 is a contiguous arc of 4: 2 neighbours -> 0.5.
+  EXPECT_DOUBLE_EQ(exact_vertex_expansion(cycle_graph(8)), 0.5);
+  EXPECT_DOUBLE_EQ(exact_connected_vertex_expansion(cycle_graph(8)), 0.5);
+}
+
+TEST(BruteForceExpansion, PathWorstCaseIsPrefix) {
+  EXPECT_DOUBLE_EQ(exact_vertex_expansion(path_graph(8)), 0.25);
+}
+
+TEST(BruteForceExpansion, BarbellBridgeDominates) {
+  // One triangle (|S|=3) has exactly 1 neighbour: alpha = 1/3.
+  EXPECT_NEAR(exact_vertex_expansion(barbell_graph()), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(exact_connected_vertex_expansion(barbell_graph()), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(BruteForceExpansion, StarLeavesAreWorst) {
+  // S = floor(n/2) leaves has only the hub as neighbour.
+  const Graph g = star_graph(9);  // 8 leaves
+  EXPECT_DOUBLE_EQ(exact_vertex_expansion(g), 1.0 / 4.0);
+  // Connected restriction: leaves are not connected to each other, so the
+  // worst connected S is hub+leaves or a single leaf; expansion is higher.
+  EXPECT_GT(exact_connected_vertex_expansion(g), 1.0 / 4.0);
+}
+
+TEST(BruteForceExpansion, ConnectedRestrictionNeverLower) {
+  for (const Graph& g : {petersen_graph(), barbell_graph(), cycle_graph(9),
+                         path_graph(7), star_graph(8)}) {
+    EXPECT_GE(exact_connected_vertex_expansion(g) + 1e-12,
+              exact_vertex_expansion(g));
+  }
+}
+
+TEST(BruteForceExpansion, PetersenIsAGoodExpander) {
+  EXPECT_GE(exact_vertex_expansion(petersen_graph()), 0.8);
+}
+
+TEST(BruteForceExpansion, EnvelopeEstimateUpperBoundsConnectedOptimum) {
+  // The BFS-envelope alpha measures specific connected sets, so its minimum
+  // over measured points can only over-estimate the true connected minimum.
+  for (const Graph& g : {petersen_graph(), barbell_graph(), cycle_graph(10)}) {
+    const double exact = exact_connected_vertex_expansion(g);
+    const ExpansionProfile profile = measure_expansion(g);
+    // Compare against the worst measured per-source point (min over min
+    // neighbours / set size).
+    double measured = 1e9;
+    for (const ExpansionPoint& p : profile.points) {
+      if (p.set_size > g.num_vertices() / 2 || p.set_size == 0) continue;
+      measured = std::min(measured, static_cast<double>(p.min_neighbors) /
+                                        static_cast<double>(p.set_size));
+    }
+    EXPECT_GE(measured + 1e-9, exact);
+  }
+}
+
+TEST(BruteForceExpansion, TooLargeThrows) {
+  EXPECT_THROW(exact_vertex_expansion(cycle_graph(25)), std::invalid_argument);
+  EXPECT_THROW(exact_vertex_expansion(Graph{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,132 @@
+#include "sybil/community_defense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+Graph expander(VertexId n, std::uint64_t seed) {
+  return largest_component(barabasi_albert(n, 4, seed)).graph;
+}
+
+TEST(CommunityExpansion, SeedComesFirst) {
+  const Graph g = expander(200, 1);
+  const CommunityExpansionResult result = community_expansion(g, 7);
+  EXPECT_EQ(result.ranking.front(), 7u);
+  EXPECT_DOUBLE_EQ(result.attachment[7], 1.0);
+}
+
+TEST(CommunityExpansion, RankingIsAPermutation) {
+  const Graph g = expander(300, 2);
+  const CommunityExpansionResult result = community_expansion(g, 0);
+  EXPECT_EQ(result.ranking.size(), g.num_vertices());
+  std::vector<std::uint8_t> seen(g.num_vertices(), 0);
+  for (const VertexId v : result.ranking) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+}
+
+TEST(CommunityExpansion, AbsorbsOwnCliqueBeforeOther) {
+  const Graph g = testing::two_cliques(8);
+  const CommunityExpansionResult result = community_expansion(g, 0);
+  // First 8 absorptions are clique 1 (ids 0..7).
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_LT(result.ranking[i], 8u);
+}
+
+TEST(CommunityExpansion, ConductanceKneeAtTheBridge) {
+  const Graph g = testing::two_cliques(8);
+  const CommunityExpansionResult result = community_expansion(g, 0);
+  // After absorbing the full first clique, conductance hits its minimum.
+  double best = 1.0;
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < result.conductance_curve.size(); ++i) {
+    if (result.conductance_curve[i] < best) {
+      best = result.conductance_curve[i];
+      best_index = i;
+    }
+  }
+  EXPECT_EQ(best_index, 7u);  // community of size 8 (index 7)
+}
+
+TEST(CommunityExpansion, UnreachableAppended) {
+  GraphBuilder b{5};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  const CommunityExpansionResult result = community_expansion(g, 0);
+  EXPECT_EQ(result.ranking.size(), 5u);
+  EXPECT_DOUBLE_EQ(result.attachment[3], 0.0);
+  EXPECT_DOUBLE_EQ(result.attachment[4], 0.0);
+}
+
+TEST(CommunityExpansion, BadArgsThrow) {
+  const Graph g = expander(50, 3);
+  EXPECT_THROW(community_expansion(g, 999), std::out_of_range);
+  GraphBuilder b{3};
+  EXPECT_THROW(community_expansion(b.build(), 0), std::invalid_argument);
+}
+
+TEST(CommunityDefense, SeparatesWeaklyAttachedSybils) {
+  const Graph honest = expander(500, 4);
+  AttackParams attack;
+  attack.num_sybils = 250;
+  attack.attack_edges = 5;
+  attack.seed = 4;
+  const AttackedGraph attacked{honest, attack};
+  const PairwiseEvaluation eval = evaluate_community_defense(attacked, 0);
+  EXPECT_GT(eval.honest_accept_fraction, 0.9);
+  // 250 sybils / 5 edges = 50 unfiltered; the cutoff classifier admits far
+  // fewer.
+  EXPECT_LT(eval.sybils_per_attack_edge, 10.0);
+}
+
+TEST(CommunityDefense, RankingAucHighUnderWeakAttack) {
+  const Graph honest = expander(400, 5);
+  AttackParams attack;
+  attack.num_sybils = 200;
+  attack.attack_edges = 3;
+  attack.seed = 5;
+  const AttackedGraph attacked{honest, attack};
+  const CommunityExpansionResult result =
+      community_expansion(attacked.graph(), 0);
+  EXPECT_GT(ranking_auc(result.ranking, attacked), 0.9);
+}
+
+TEST(CommunityDefense, NeverImprovesWithMoreAttackEdges) {
+  const Graph honest = expander(400, 6);
+  double auc[3];
+  const std::uint32_t edges[3] = {3, 200, 1200};
+  for (int i = 0; i < 3; ++i) {
+    AttackParams attack;
+    attack.num_sybils = 200;
+    attack.attack_edges = edges[i];
+    attack.seed = 6;
+    const AttackedGraph attacked{honest, attack};
+    auc[i] = ranking_auc(community_expansion(attacked.graph(), 0).ranking,
+                         attacked);
+  }
+  EXPECT_GT(auc[0], 0.95);
+  EXPECT_GE(auc[0], auc[1]);
+  EXPECT_GE(auc[1], auc[2]);
+  // At 6 attack edges per Sybil, the region has blended into the honest
+  // graph and community structure can no longer isolate it.
+  EXPECT_LT(auc[2], 0.95);
+}
+
+TEST(CommunityDefense, SeedMustBeHonest) {
+  const Graph honest = expander(100, 7);
+  AttackParams attack;
+  attack.num_sybils = 20;
+  attack.attack_edges = 2;
+  const AttackedGraph attacked{honest, attack};
+  EXPECT_THROW(evaluate_community_defense(attacked, attacked.num_honest()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

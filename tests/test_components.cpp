@@ -1,0 +1,92 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::disconnected_graph;
+using testing::path_graph;
+
+TEST(Components, ConnectedGraphIsOneComponent) {
+  const Components c = connected_components(path_graph(10));
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.sizes[0], 10u);
+}
+
+TEST(Components, CountsDisconnectedPieces) {
+  const Components c = connected_components(disconnected_graph());
+  EXPECT_EQ(c.count(), 3u);  // triangle, edge, isolated vertex
+  std::vector<std::uint64_t> sizes = c.sizes;
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Components, LabelsAreConsistent) {
+  const Graph g = disconnected_graph();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.component_of[0], c.component_of[1]);
+  EXPECT_EQ(c.component_of[1], c.component_of[2]);
+  EXPECT_EQ(c.component_of[3], c.component_of[4]);
+  EXPECT_NE(c.component_of[0], c.component_of[3]);
+  EXPECT_NE(c.component_of[0], c.component_of[5]);
+}
+
+TEST(Components, LargestPicksBiggest) {
+  const Components c = connected_components(disconnected_graph());
+  EXPECT_EQ(c.sizes[c.largest()], 3u);
+}
+
+TEST(Components, LargestOnEmptyThrows) {
+  Components c;
+  EXPECT_THROW(c.largest(), std::logic_error);
+}
+
+TEST(Components, EmptyGraphHasNoComponents) {
+  const Components c = connected_components(Graph{});
+  EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(LargestComponent, ExtractsTriangle) {
+  const ExtractedGraph sub = largest_component(disconnected_graph());
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  // Original ids are the triangle's vertices.
+  EXPECT_EQ(sub.original_id.size(), 3u);
+  for (const VertexId v : sub.original_id) EXPECT_LE(v, 2u);
+}
+
+TEST(LargestComponent, IdentityOnConnectedGraph) {
+  const Graph g = complete_graph(5);
+  const ExtractedGraph sub = largest_component(g);
+  EXPECT_EQ(sub.graph, g);
+}
+
+TEST(LargestComponent, EmptyGraph) {
+  const ExtractedGraph sub = largest_component(Graph{});
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+  EXPECT_TRUE(sub.original_id.empty());
+}
+
+TEST(IsConnected, Various) {
+  EXPECT_TRUE(is_connected(Graph{}));
+  EXPECT_TRUE(is_connected(path_graph(2)));
+  EXPECT_TRUE(is_connected(complete_graph(4)));
+  EXPECT_FALSE(is_connected(disconnected_graph()));
+}
+
+TEST(Components, SizesSumToVertexCount) {
+  const Graph g = disconnected_graph();
+  const Components c = connected_components(g);
+  std::uint64_t total = 0;
+  for (const auto s : c.sizes) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,131 @@
+#include "cores/core_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::path_graph;
+using testing::two_cliques;
+
+TEST(CoreProfile, PathSingleLevel) {
+  const auto levels = core_profile(path_graph(5));
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0].k, 1u);
+  EXPECT_EQ(levels[0].vertices, 5u);
+  EXPECT_DOUBLE_EQ(levels[0].nu, 1.0);
+  EXPECT_DOUBLE_EQ(levels[0].tau, 1.0);
+  EXPECT_EQ(levels[0].num_components, 1u);
+}
+
+TEST(CoreProfile, DirectBridgeKeepsCoreConnected) {
+  // Two K_6 joined by a direct bridge: both bridge endpoints keep coreness 5,
+  // so the bridge edge itself survives in the 5-core and the core stays a
+  // single component — the subtle reason slow graphs need low-coreness
+  // connectors to fragment.
+  const auto levels = core_profile(two_cliques(6));
+  ASSERT_EQ(levels.size(), 5u);
+  EXPECT_EQ(levels[4].k, 5u);
+  EXPECT_EQ(levels[4].num_components, 1u);
+  EXPECT_EQ(levels[4].vertices, 12u);
+}
+
+TEST(CoreProfile, LowCorenessConnectorSplitsCores) {
+  // Two K_6 joined through a middle vertex of degree 2: the connector has
+  // coreness 2, so at k >= 3 the cliques separate into two cores.
+  GraphBuilder b{13};
+  for (VertexId u = 0; u < 6; ++u)
+    for (VertexId v = u + 1; v < 6; ++v) {
+      b.add_edge(u, v);
+      b.add_edge(6 + u, 6 + v);
+    }
+  b.add_edge(5, 12);
+  b.add_edge(12, 6);
+  const auto levels = core_profile(b.build());
+  ASSERT_EQ(levels.size(), 5u);
+  EXPECT_EQ(levels[0].num_components, 1u);  // k=1: whole graph
+  EXPECT_EQ(levels[2].k, 3u);
+  EXPECT_EQ(levels[2].num_components, 2u);  // connector dropped
+  EXPECT_EQ(levels[4].num_components, 2u);
+  EXPECT_EQ(levels[4].largest_component, 6u);
+}
+
+TEST(CoreProfile, CompleteGraphOneCoreAllLevels) {
+  const auto levels = core_profile(complete_graph(7));
+  ASSERT_EQ(levels.size(), 6u);
+  for (const CoreLevel& level : levels) {
+    EXPECT_EQ(level.num_components, 1u);
+    EXPECT_EQ(level.vertices, 7u);
+    EXPECT_DOUBLE_EQ(level.nu, 1.0);
+  }
+}
+
+TEST(CoreProfile, NuAndTauAreMonotoneNonIncreasing) {
+  const Graph g = powerlaw_cluster(500, 4, 0.5, 91);
+  const auto levels = core_profile(g);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LE(levels[i].nu, levels[i - 1].nu + 1e-12);
+    EXPECT_LE(levels[i].tau, levels[i - 1].tau + 1e-12);
+  }
+}
+
+TEST(CoreProfile, EdgeCountsConsistentWithSubgraph) {
+  const Graph g = erdos_renyi(200, 0.05, 92);
+  const CoreDecomposition d = core_decomposition(g);
+  const auto levels = core_profile(g, d);
+  for (const CoreLevel& level : levels) {
+    // Rebuild the induced core subgraph and compare edge counts exactly.
+    const auto members = d.core_members(level.k);
+    const ExtractedGraph sub = induced_subgraph(g, members);
+    EXPECT_EQ(level.vertices, sub.graph.num_vertices());
+    EXPECT_EQ(level.edges, sub.graph.num_edges());
+    EXPECT_EQ(level.num_components,
+              connected_components(sub.graph).count());
+  }
+}
+
+TEST(CoreProfile, EmptyGraphNoLevels) {
+  EXPECT_TRUE(core_profile(Graph{}).empty());
+  GraphBuilder b{5};
+  EXPECT_TRUE(core_profile(b.build()).empty());
+}
+
+TEST(CoreProfile, FragmentedAffiliationVsSingleCorePowerlaw) {
+  // The paper's Fig. 5 signature: the co-authorship analogue fragments into
+  // multiple cores as k grows; the heavy-tailed analogue keeps one core.
+  AffiliationParams params;
+  params.num_actors = 800;
+  params.num_groups = 420;
+  params.min_group = 3;
+  params.max_group = 6;
+  params.regions = 16;
+  params.cross_region_p = 0.08;
+  const Graph slow = largest_component(affiliation_graph(params, 93)).graph;
+  const Graph fast = largest_component(barabasi_albert(800, 4, 93)).graph;
+
+  std::uint32_t slow_max_components = 0;
+  for (const CoreLevel& level : core_profile(slow))
+    slow_max_components = std::max(slow_max_components, level.num_components);
+  std::uint32_t fast_max_components = 0;
+  for (const CoreLevel& level : core_profile(fast))
+    fast_max_components = std::max(fast_max_components, level.num_components);
+
+  EXPECT_GT(slow_max_components, 1u);
+  EXPECT_EQ(fast_max_components, 1u);
+}
+
+TEST(CoreProfile, LargestComponentNeverExceedsVertices) {
+  const Graph g = planted_partition(300, 6, 0.15, 0.005, 94);
+  for (const CoreLevel& level : core_profile(g)) {
+    EXPECT_LE(level.largest_component, level.vertices);
+    EXPECT_GE(level.num_components, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,161 @@
+#include "digraph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+Digraph directed_triangle() {
+  // 0 -> 1 -> 2 -> 0.
+  return Digraph{3, {{0, 1}, {1, 2}, {2, 0}}};
+}
+
+TEST(Digraph, BasicDegrees) {
+  const Digraph g = directed_triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+    EXPECT_EQ(g.in_degree(v), 1u);
+  }
+  EXPECT_EQ(g.successors(0)[0], 1u);
+  EXPECT_EQ(g.predecessors(0)[0], 2u);
+}
+
+TEST(Digraph, DropsSelfLoopsAndDuplicateArcs) {
+  const Digraph g{3, {{0, 0}, {0, 1}, {0, 1}, {1, 0}}};
+  EXPECT_EQ(g.num_arcs(), 2u);  // 0->1 and 1->0
+  EXPECT_EQ(g.out_degree(0), 1u);
+}
+
+TEST(Digraph, OutOfRangeThrows) {
+  EXPECT_THROW(Digraph(2, {{0, 5}}), std::out_of_range);
+  const Digraph g = directed_triangle();
+  EXPECT_THROW(g.out_degree(9), std::out_of_range);
+  EXPECT_THROW(g.successors(9), std::out_of_range);
+}
+
+TEST(Digraph, UndirectedProjection) {
+  const Digraph g = directed_triangle();
+  const Graph u = g.undirected();
+  EXPECT_EQ(u.num_edges(), 3u);
+  EXPECT_TRUE(u.has_edge(0, 1));
+}
+
+TEST(OrientGraph, FullReciprocityKeepsBothArcs) {
+  const Graph g = testing::cycle_graph(6);
+  const Digraph d = orient_graph(g, 1.0, 1);
+  EXPECT_EQ(d.num_arcs(), 12u);
+}
+
+TEST(OrientGraph, ZeroReciprocityKeepsOneArcPerEdge) {
+  const Graph g = testing::complete_graph(6);
+  const Digraph d = orient_graph(g, 0.0, 1);
+  EXPECT_EQ(d.num_arcs(), g.num_edges());
+}
+
+TEST(OrientGraph, ReciprocityInterpolates) {
+  const Graph g = largest_component(barabasi_albert(300, 3, 2)).graph;
+  const Digraph d = orient_graph(g, 0.5, 2);
+  EXPECT_GT(d.num_arcs(), g.num_edges());
+  EXPECT_LT(d.num_arcs(), 2 * g.num_edges());
+}
+
+TEST(StepDirected, PreservesMass) {
+  const Digraph g = directed_triangle();
+  std::vector<double> p{1.0, 0.0, 0.0}, out;
+  for (int s = 0; s < 10; ++s) {
+    step_directed(g, p, out, 0.15);
+    p.swap(out);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  }
+}
+
+TEST(StepDirected, DanglingMassRedistributed) {
+  // 0 -> 1, vertex 1 dangling.
+  const Digraph g{2, {{0, 1}}};
+  std::vector<double> p{0.0, 1.0}, out;
+  step_directed(g, p, out, 0.0);
+  EXPECT_NEAR(out[0], 0.5, 1e-12);
+  EXPECT_NEAR(out[1], 0.5, 1e-12);
+}
+
+TEST(StepDirected, BadTeleportThrows) {
+  const Digraph g = directed_triangle();
+  std::vector<double> p{1.0, 0.0, 0.0}, out;
+  EXPECT_THROW(step_directed(g, p, out, 1.0), std::invalid_argument);
+  EXPECT_THROW(step_directed(g, p, out, -0.1), std::invalid_argument);
+}
+
+TEST(DirectedStationary, CycleIsUniform) {
+  const Digraph g = directed_triangle();
+  const std::vector<double> pi = directed_stationary(g, 0.15);
+  for (const double value : pi) EXPECT_NEAR(value, 1.0 / 3.0, 1e-9);
+}
+
+TEST(DirectedStationary, IsFixedPoint) {
+  const Graph base = largest_component(barabasi_albert(200, 3, 3)).graph;
+  const Digraph g = orient_graph(base, 0.4, 3);
+  const std::vector<double> pi = directed_stationary(g, 0.15);
+  std::vector<double> out;
+  step_directed(g, pi, out, 0.15);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(out[v], pi[v], 1e-9);
+}
+
+TEST(DirectedStationary, HubsAccumulateRank) {
+  // Star with all arcs pointing at the hub: the hub's stationary mass
+  // dominates.
+  std::vector<Edge> arcs;
+  for (VertexId leaf = 1; leaf < 10; ++leaf) arcs.push_back({leaf, 0});
+  const Digraph g{10, arcs};
+  const std::vector<double> pi = directed_stationary(g, 0.15);
+  for (VertexId leaf = 1; leaf < 10; ++leaf) EXPECT_GT(pi[0], 3.0 * pi[leaf]);
+}
+
+TEST(DirectedMixing, CurvesDecreaseToZero) {
+  const Graph base = largest_component(barabasi_albert(300, 4, 4)).graph;
+  const Digraph g = orient_graph(base, 0.5, 4);
+  const DirectedMixingCurves curves =
+      measure_directed_mixing(g, 0.15, 5, 40, 4);
+  for (const auto& curve : curves.tvd) {
+    EXPECT_GT(curve.front(), 0.5);
+    EXPECT_LT(curve.back(), 0.05);
+  }
+}
+
+TEST(DirectedMixing, LowReciprocityMixesDifferentlyThanUndirected) {
+  // The follow-up paper's observation: directedness changes the mixing
+  // behaviour. We check the directed chain with teleport converges and that
+  // reciprocal orientation (which equals the undirected chain up to
+  // teleport) mixes at least as fast as the one-way orientation.
+  const Graph base = largest_component(barabasi_albert(300, 4, 5)).graph;
+  const Digraph one_way = orient_graph(base, 0.0, 5);
+  const Digraph mutual = orient_graph(base, 1.0, 5);
+  const auto curve_one =
+      measure_directed_mixing(one_way, 0.1, 5, 30, 5);
+  const auto curve_mutual =
+      measure_directed_mixing(mutual, 0.1, 5, 30, 5);
+  double worst_one = 0.0, worst_mutual = 0.0;
+  for (const auto& c : curve_one.tvd) worst_one = std::max(worst_one, c[10]);
+  for (const auto& c : curve_mutual.tvd)
+    worst_mutual = std::max(worst_mutual, c[10]);
+  EXPECT_LE(worst_mutual, worst_one + 0.05);
+}
+
+TEST(DirectedMixing, BadArgsThrow) {
+  const Digraph g = directed_triangle();
+  EXPECT_THROW(measure_directed_mixing(g, 0.15, 0, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(directed_stationary(g, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,82 @@
+#include "markov/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+TEST(Distribution, DiracIsPointMass) {
+  const Distribution d = dirac(5, 2);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+  EXPECT_DOUBLE_EQ(mass(d), 1.0);
+}
+
+TEST(Distribution, DiracOutOfRangeThrows) {
+  EXPECT_THROW(dirac(5, 5), std::out_of_range);
+}
+
+TEST(Distribution, StationaryIsDegreeProportional) {
+  const Graph g = star_graph(5);  // center degree 4, leaves degree 1
+  const Distribution pi = stationary_distribution(g);
+  EXPECT_DOUBLE_EQ(pi[0], 4.0 / 8.0);
+  EXPECT_DOUBLE_EQ(pi[1], 1.0 / 8.0);
+  EXPECT_NEAR(mass(pi), 1.0, 1e-12);
+}
+
+TEST(Distribution, StationaryUniformOnRegularGraph) {
+  const Graph g = complete_graph(6);
+  const Distribution pi = stationary_distribution(g);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_NEAR(pi[v], 1.0 / 6.0, 1e-12);
+}
+
+TEST(Distribution, StationaryOnEdgelessThrows) {
+  GraphBuilder b{3};
+  EXPECT_THROW(stationary_distribution(b.build()), std::invalid_argument);
+}
+
+TEST(Distribution, TotalVariationIdentical) {
+  const Distribution d = dirac(4, 1);
+  EXPECT_DOUBLE_EQ(total_variation(d, d), 0.0);
+}
+
+TEST(Distribution, TotalVariationDisjointIsOne) {
+  EXPECT_DOUBLE_EQ(total_variation(dirac(4, 0), dirac(4, 3)), 1.0);
+}
+
+TEST(Distribution, TotalVariationSymmetric) {
+  const Graph g = path_graph(6);
+  const Distribution pi = stationary_distribution(g);
+  const Distribution d = dirac(6, 0);
+  EXPECT_DOUBLE_EQ(total_variation(pi, d), total_variation(d, pi));
+}
+
+TEST(Distribution, TotalVariationTriangleInequality) {
+  const Graph g = path_graph(6);
+  const Distribution a = dirac(6, 0);
+  const Distribution b = stationary_distribution(g);
+  Distribution c(6, 1.0 / 6.0);
+  EXPECT_LE(total_variation(a, c),
+            total_variation(a, b) + total_variation(b, c) + 1e-12);
+}
+
+TEST(Distribution, TotalVariationSizeMismatchThrows) {
+  EXPECT_THROW(total_variation(dirac(3, 0), dirac(4, 0)),
+               std::invalid_argument);
+}
+
+TEST(Distribution, TotalVariationBoundedByOne) {
+  const Distribution a = dirac(10, 0);
+  Distribution b(10, 0.1);
+  const double tv = total_variation(a, b);
+  EXPECT_GE(tv, 0.0);
+  EXPECT_LE(tv, 1.0);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,74 @@
+#include "expansion/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+TEST(Envelope, PathProfile) {
+  // Path 0-1-2-3-4 from vertex 0: levels 1,1,1,1,1.
+  const EnvelopeProfile p = envelope_profile(path_graph(5), 0);
+  EXPECT_EQ(p.level_sizes, (std::vector<std::uint64_t>{1, 1, 1, 1, 1}));
+  EXPECT_EQ(p.envelope_sizes, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(p.neighbor_counts, (std::vector<std::uint64_t>{1, 1, 1, 1, 0}));
+  EXPECT_DOUBLE_EQ(p.alpha[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.alpha[1], 0.5);
+  EXPECT_DOUBLE_EQ(p.alpha[3], 0.25);
+  EXPECT_DOUBLE_EQ(p.alpha[4], 0.0);
+}
+
+TEST(Envelope, StarFromCenter) {
+  const EnvelopeProfile p = envelope_profile(star_graph(10), 0);
+  ASSERT_EQ(p.level_sizes.size(), 2u);
+  EXPECT_EQ(p.neighbor_counts[0], 9u);
+  EXPECT_DOUBLE_EQ(p.alpha[0], 9.0);
+}
+
+TEST(Envelope, CompleteGraphSingleHop) {
+  const EnvelopeProfile p = envelope_profile(complete_graph(8), 3);
+  EXPECT_DOUBLE_EQ(p.alpha[0], 7.0);
+  EXPECT_DOUBLE_EQ(p.alpha[1], 0.0);
+}
+
+TEST(Envelope, AlphaMatchesDefinition) {
+  // alpha_i = L_{i+1} / sum_{j<=i} L_j for every i (Eq. 4).
+  const EnvelopeProfile p = envelope_profile(cycle_graph(12), 5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < p.level_sizes.size(); ++i) {
+    cumulative += p.level_sizes[i];
+    const double expected =
+        i + 1 < p.level_sizes.size()
+            ? static_cast<double>(p.level_sizes[i + 1]) / cumulative
+            : 0.0;
+    EXPECT_DOUBLE_EQ(p.alpha[i], expected);
+  }
+}
+
+TEST(Envelope, FromLevelsValidatesInput) {
+  EXPECT_THROW(envelope_from_levels(0, {}), std::invalid_argument);
+  EXPECT_THROW(envelope_from_levels(0, {2, 3}), std::invalid_argument);
+}
+
+TEST(Envelope, FromLevelsMatchesBfsPath) {
+  const Graph g = path_graph(4);
+  const EnvelopeProfile direct = envelope_profile(g, 0);
+  const EnvelopeProfile rebuilt = envelope_from_levels(0, {1, 1, 1, 1});
+  EXPECT_EQ(direct.envelope_sizes, rebuilt.envelope_sizes);
+  EXPECT_EQ(direct.alpha, rebuilt.alpha);
+}
+
+TEST(Envelope, EnvelopeSizesEndAtComponentSize) {
+  const Graph g = testing::two_cliques(4);
+  const EnvelopeProfile p = envelope_profile(g, 0);
+  EXPECT_EQ(p.envelope_sizes.back(), 8u);
+}
+
+}  // namespace
+}  // namespace sntrust

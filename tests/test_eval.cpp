@@ -1,0 +1,87 @@
+#include "sybil/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+
+namespace sntrust {
+namespace {
+
+TEST(RankingFromScores, DescendingOrder) {
+  const Ranking r = ranking_from_scores({0.2, 0.9, 0.5});
+  EXPECT_EQ(r, (Ranking{1, 2, 0}));
+}
+
+TEST(RankingFromScores, StableOnTies) {
+  const Ranking r = ranking_from_scores({0.5, 0.5, 0.5});
+  EXPECT_EQ(r, (Ranking{0, 1, 2}));
+}
+
+TEST(RankingOverlap, IdenticalIsOne) {
+  const Ranking r{0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ranking_overlap(r, r, 1), 1.0);
+}
+
+TEST(RankingOverlap, ReversedIsLow) {
+  Ranking a{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Ranking b{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  const double overlap = ranking_overlap(a, b, 1);
+  EXPECT_LT(overlap, 0.5);
+  EXPECT_GT(overlap, 0.0);
+}
+
+TEST(RankingOverlap, PartialAgreement) {
+  // Same top half, scrambled bottom half.
+  Ranking a{0, 1, 2, 3, 4, 5};
+  Ranking b{0, 1, 2, 5, 4, 3};
+  const double overlap = ranking_overlap(a, b, 1);
+  EXPECT_GT(overlap, 0.7);
+  EXPECT_LE(overlap, 1.0);
+}
+
+TEST(RankingOverlap, SizeMismatchThrows) {
+  EXPECT_THROW(ranking_overlap({0, 1}, {0}), std::invalid_argument);
+}
+
+TEST(RankingOverlap, EmptyIsOne) {
+  EXPECT_DOUBLE_EQ(ranking_overlap({}, {}), 1.0);
+}
+
+TEST(RankingAuc, PerfectSeparation) {
+  const Graph honest = largest_component(barabasi_albert(50, 3, 1)).graph;
+  AttackParams attack;
+  attack.num_sybils = 20;
+  attack.attack_edges = 2;
+  attack.seed = 1;
+  const AttackedGraph attacked{honest, attack};
+  Ranking perfect;
+  for (VertexId v = 0; v < attacked.graph().num_vertices(); ++v)
+    perfect.push_back(v);  // honest ids first by construction
+  EXPECT_DOUBLE_EQ(ranking_auc(perfect, attacked), 1.0);
+}
+
+TEST(RankingAuc, WorstSeparationIsZero) {
+  const Graph honest = largest_component(barabasi_albert(50, 3, 2)).graph;
+  AttackParams attack;
+  attack.num_sybils = 20;
+  attack.attack_edges = 2;
+  attack.seed = 2;
+  const AttackedGraph attacked{honest, attack};
+  Ranking reversed;
+  for (VertexId v = attacked.graph().num_vertices(); v > 0; --v)
+    reversed.push_back(v - 1);
+  EXPECT_DOUBLE_EQ(ranking_auc(reversed, attacked), 0.0);
+}
+
+TEST(RankingAuc, SizeMismatchThrows) {
+  const Graph honest = largest_component(barabasi_albert(50, 3, 3)).graph;
+  AttackParams attack;
+  attack.num_sybils = 5;
+  attack.attack_edges = 1;
+  const AttackedGraph attacked{honest, attack};
+  EXPECT_THROW(ranking_auc({0, 1, 2}, attacked), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,94 @@
+#include "dynamic/evolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+
+namespace sntrust {
+namespace {
+
+TEST(GrowthTrace, SnapshotMonotoneInSize) {
+  const GrowthTrace trace = preferential_attachment_trace(300, 3, 1);
+  const Graph small = trace.snapshot(100);
+  const Graph large = trace.snapshot(300);
+  EXPECT_EQ(small.num_vertices(), 100u);
+  EXPECT_EQ(large.num_vertices(), 300u);
+  EXPECT_LT(small.num_edges(), large.num_edges());
+  // Prefix property: every early edge survives into the larger snapshot.
+  for (const Edge& e : small.edges())
+    EXPECT_TRUE(large.has_edge(e.u, e.v));
+}
+
+TEST(GrowthTrace, FinalSnapshotMatchesBaModel) {
+  const GrowthTrace trace = preferential_attachment_trace(200, 3, 2);
+  const Graph g = trace.snapshot(200);
+  // Same structural signature as barabasi_albert: every non-seed vertex has
+  // >= 3 edges and the graph is connected.
+  EXPECT_TRUE(is_connected(g));
+  for (VertexId v = 4; v < 200; ++v) EXPECT_GE(g.degree(v), 3u);
+}
+
+TEST(GrowthTrace, OversizedSnapshotThrows) {
+  const GrowthTrace trace = preferential_attachment_trace(100, 2, 3);
+  EXPECT_THROW(trace.snapshot(101), std::invalid_argument);
+}
+
+TEST(GrowthTrace, BadEdgeRangeThrows) {
+  EXPECT_THROW(GrowthTrace(5, {{0, 9}}), std::invalid_argument);
+}
+
+TEST(GrowthTrace, BadBaParamsThrow) {
+  EXPECT_THROW(preferential_attachment_trace(3, 3, 1), std::invalid_argument);
+  EXPECT_THROW(preferential_attachment_trace(10, 0, 1), std::invalid_argument);
+}
+
+TEST(AffiliationTrace, ProducesClusteredPrefixes) {
+  const GrowthTrace trace = affiliation_trace(600, 8, 1.2, 4);
+  const Graph snapshot = largest_component(trace.snapshot(600)).graph;
+  EXPECT_GT(snapshot.num_vertices(), 100u);
+  EXPECT_GT(average_local_clustering(snapshot), 0.2);
+}
+
+TEST(AffiliationTrace, BadParamsThrow) {
+  EXPECT_THROW(affiliation_trace(8, 2, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(affiliation_trace(100, 0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(MeasureEvolution, PointsPerSnapshot) {
+  const GrowthTrace trace = preferential_attachment_trace(500, 3, 5);
+  EvolutionOptions options;
+  options.expansion_sources = 100;
+  const auto points = measure_evolution(trace, {100, 250, 500}, options);
+  ASSERT_EQ(points.size(), 3u);
+  for (const EvolutionPoint& p : points) {
+    EXPECT_GT(p.nodes, 0u);
+    EXPECT_GT(p.mu, 0.0);
+    EXPECT_LT(p.mu, 1.0);
+    EXPECT_GE(p.degeneracy, 3u);
+    EXPECT_GT(p.min_expansion_factor, 0.0);
+  }
+  EXPECT_LT(points[0].nodes, points[2].nodes);
+}
+
+TEST(MeasureEvolution, BaMixingStaysFastWhileGrowing) {
+  // The open-problem probe: preferential attachment keeps its expander
+  // character as it grows (mu does not drift toward 1).
+  const GrowthTrace trace = preferential_attachment_trace(800, 4, 6);
+  const auto points = measure_evolution(trace, {200, 800});
+  EXPECT_LT(points[1].mu, points[0].mu + 0.1);
+  EXPECT_EQ(points[1].max_core_count, 1u);
+}
+
+TEST(MeasureEvolution, UnsortedSizesThrow) {
+  const GrowthTrace trace = preferential_attachment_trace(100, 2, 7);
+  EXPECT_THROW(measure_evolution(trace, {80, 40}), std::invalid_argument);
+}
+
+TEST(MeasureEvolution, TinySnapshotThrows) {
+  const GrowthTrace trace = preferential_attachment_trace(100, 2, 8);
+  EXPECT_THROW(measure_evolution(trace, {8}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,174 @@
+#include "sybil/gatekeeper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+Graph expander(VertexId n, std::uint64_t seed) {
+  return largest_component(barabasi_albert(n, 4, seed)).graph;
+}
+
+TEST(TicketDistribution, SourceAlwaysReached) {
+  const Graph g = expander(200, 1);
+  const TicketRun run = distribute_tickets(g, 0, 1);
+  EXPECT_EQ(run.vertices_reached, 1u);
+  EXPECT_TRUE(run.reached[0]);
+}
+
+TEST(TicketDistribution, MoreTicketsReachMore) {
+  const Graph g = expander(500, 2);
+  const TicketRun small = distribute_tickets(g, 0, 10);
+  const TicketRun large = distribute_tickets(g, 0, 1000);
+  EXPECT_GT(large.vertices_reached, small.vertices_reached);
+}
+
+TEST(TicketDistribution, ReachedMatchesFlags) {
+  const Graph g = expander(300, 3);
+  const TicketRun run = distribute_tickets(g, 5, 100);
+  std::uint64_t flagged = 0;
+  for (const auto f : run.reached)
+    if (f) ++flagged;
+  EXPECT_EQ(flagged, run.vertices_reached);
+}
+
+TEST(TicketDistribution, TicketConservationOnStar) {
+  // Hub with t tickets: keeps 1, forwards t-1 split across 9 leaves.
+  const Graph g = star_graph(10);
+  const TicketRun run = distribute_tickets(g, 0, 10);
+  EXPECT_EQ(run.vertices_reached, 10u);
+  const std::uint64_t leaf_total =
+      std::accumulate(run.tickets_received.begin() + 1,
+                      run.tickets_received.end(), std::uint64_t{0});
+  EXPECT_EQ(leaf_total, 9u);
+}
+
+TEST(TicketDistribution, PathConsumesOnePerHop) {
+  const Graph g = path_graph(6);
+  const TicketRun run = distribute_tickets(g, 0, 4);
+  // 4 tickets from vertex 0 reach exactly vertices 0..3.
+  EXPECT_EQ(run.vertices_reached, 4u);
+  EXPECT_TRUE(run.reached[3]);
+  EXPECT_FALSE(run.reached[4]);
+}
+
+TEST(TicketDistribution, DeadEndLosesTickets) {
+  // Star from a leaf: leaf -> hub -> other leaves (no further level); extra
+  // tickets die at the last level.
+  const Graph g = star_graph(5);
+  const TicketRun run = distribute_tickets(g, 1, 1000);
+  EXPECT_EQ(run.vertices_reached, 5u);
+}
+
+TEST(TicketDistribution, BadArgsThrow) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(distribute_tickets(g, 5, 10), std::out_of_range);
+  EXPECT_THROW(distribute_tickets(g, 0, 0), std::invalid_argument);
+}
+
+TEST(AdaptiveDistribute, HitsTargetFraction) {
+  const Graph g = expander(400, 4);
+  const TicketRun run = adaptive_distribute(g, 0, 0.5);
+  EXPECT_GE(run.vertices_reached, 200u);
+}
+
+TEST(AdaptiveDistribute, BadFractionThrows) {
+  const Graph g = expander(50, 5);
+  EXPECT_THROW(adaptive_distribute(g, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(adaptive_distribute(g, 0, 1.5), std::invalid_argument);
+}
+
+TEST(GateKeeper, AdmitsMostHonestOnExpander) {
+  const Graph g = expander(600, 6);
+  GateKeeperParams params;
+  params.num_distributers = 20;
+  params.f_admit = 0.1;
+  params.seed = 6;
+  const GateKeeperResult result = run_gatekeeper(g, 0, params);
+  std::uint64_t admitted = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (result.admitted(v)) ++admitted;
+  EXPECT_GT(static_cast<double>(admitted) / g.num_vertices(), 0.8);
+}
+
+TEST(GateKeeper, ThresholdScalesWithF) {
+  const Graph g = expander(200, 7);
+  GateKeeperParams params;
+  params.num_distributers = 50;
+  params.f_admit = 0.2;
+  EXPECT_EQ(run_gatekeeper(g, 0, params).threshold, 10u);
+  params.f_admit = 0.5;
+  EXPECT_EQ(run_gatekeeper(g, 0, params).threshold, 25u);
+}
+
+TEST(GateKeeper, HigherFAdmitsFewer) {
+  const Graph g = expander(500, 8);
+  GateKeeperParams params;
+  params.num_distributers = 30;
+  params.seed = 8;
+  std::uint64_t counts[2] = {0, 0};
+  const double fs[2] = {0.05, 0.4};
+  for (int i = 0; i < 2; ++i) {
+    params.f_admit = fs[i];
+    const GateKeeperResult result = run_gatekeeper(g, 0, params);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (result.admitted(v)) ++counts[i];
+  }
+  EXPECT_GE(counts[0], counts[1]);
+}
+
+TEST(GateKeeper, BadParamsThrow) {
+  const Graph g = expander(100, 9);
+  GateKeeperParams params;
+  params.num_distributers = 0;
+  EXPECT_THROW(run_gatekeeper(g, 0, params), std::invalid_argument);
+  params.num_distributers = 5;
+  params.f_admit = 0.0;
+  EXPECT_THROW(run_gatekeeper(g, 0, params), std::invalid_argument);
+  params.f_admit = 0.1;
+  EXPECT_THROW(run_gatekeeper(g, 999, params), std::out_of_range);
+}
+
+TEST(GateKeeper, EvaluationBoundsSybils) {
+  const Graph honest = expander(800, 10);
+  AttackParams attack;
+  attack.num_sybils = 400;
+  attack.attack_edges = 20;
+  attack.seed = 10;
+  const AttackedGraph attacked{honest, attack};
+
+  GateKeeperParams params;
+  params.num_distributers = 20;
+  params.f_admit = 0.2;
+  params.seed = 10;
+  const GateKeeperEvaluation eval = evaluate_gatekeeper(attacked, 0, params);
+  EXPECT_GT(eval.honest_accept_fraction, 0.5);
+  // The defense's point: admitted Sybils scale with attack edges, not with
+  // the Sybil population (400 Sybils, 20 edges -> far fewer than 20 each).
+  EXPECT_LT(eval.sybils_per_attack_edge, 10.0);
+}
+
+TEST(GateKeeper, EvaluationRequiresHonestController) {
+  const Graph honest = expander(100, 11);
+  AttackParams attack;
+  attack.num_sybils = 10;
+  attack.attack_edges = 2;
+  const AttackedGraph attacked{honest, attack};
+  GateKeeperParams params;
+  EXPECT_THROW(
+      evaluate_gatekeeper(attacked, attacked.num_honest() + 1, params),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,82 @@
+// Shared fixture graphs for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace sntrust::testing {
+
+/// Path 0-1-2-...-(n-1).
+inline Graph path_graph(VertexId n) {
+  GraphBuilder b{n};
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+/// Cycle on n vertices.
+inline Graph cycle_graph(VertexId n) {
+  GraphBuilder b{n};
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+/// Star: center 0 connected to 1..n-1.
+inline Graph star_graph(VertexId n) {
+  GraphBuilder b{n};
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+/// Complete graph K_n.
+inline Graph complete_graph(VertexId n) {
+  GraphBuilder b{n};
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+/// Two triangles {0,1,2} and {3,4,5} joined by the bridge 2-3. The classic
+/// bad-expansion, two-community graph.
+inline Graph barbell_graph() {
+  GraphBuilder b{6};
+  b.add_edge(0, 1); b.add_edge(1, 2); b.add_edge(0, 2);
+  b.add_edge(3, 4); b.add_edge(4, 5); b.add_edge(3, 5);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+/// Two K_c cliques joined by a single bridge edge.
+inline Graph two_cliques(VertexId c) {
+  GraphBuilder b{static_cast<VertexId>(2 * c)};
+  for (VertexId u = 0; u < c; ++u)
+    for (VertexId v = u + 1; v < c; ++v) {
+      b.add_edge(u, v);
+      b.add_edge(c + u, c + v);
+    }
+  b.add_edge(c - 1, c);
+  return b.build();
+}
+
+/// The Petersen graph: 3-regular, vertex-transitive, a known good expander.
+inline Graph petersen_graph() {
+  GraphBuilder b{10};
+  // Outer 5-cycle, inner 5-star-cycle, spokes.
+  for (VertexId v = 0; v < 5; ++v) {
+    b.add_edge(v, (v + 1) % 5);
+    b.add_edge(5 + v, 5 + (v + 2) % 5);
+    b.add_edge(v, 5 + v);
+  }
+  return b.build();
+}
+
+/// Disconnected graph: triangle {0,1,2}, edge {3,4}, isolated 5.
+inline Graph disconnected_graph() {
+  GraphBuilder b{6};
+  b.add_edge(0, 1); b.add_edge(1, 2); b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  return b.build();
+}
+
+}  // namespace sntrust::testing

@@ -1,0 +1,143 @@
+// Cross-module integration tests: miniature versions of the paper's actual
+// experiments, wired through the same code paths the benches use.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/property_suite.hpp"
+#include "gen/datasets.hpp"
+#include "graph/components.hpp"
+#include "graph/io.hpp"
+#include "markov/mixing.hpp"
+#include "markov/spectral.hpp"
+#include "report/table.hpp"
+#include "sybil/gatekeeper.hpp"
+#include "sybil/sybilinfer.hpp"
+#include "sybil/sybillimit.hpp"
+
+namespace sntrust {
+namespace {
+
+TEST(Integration, Table1RowForOneDataset) {
+  // End to end: generate analogue -> SLEM -> printable row.
+  const DatasetSpec& spec = dataset_by_id("rice_grad");
+  const Graph g = spec.generate(1.0, 2026);
+  const SlemResult slem = second_largest_eigenvalue(g);
+  EXPECT_GT(slem.mu, 0.0);
+  EXPECT_LT(slem.mu, 1.0);
+
+  Table table{{"Dataset", "Nodes", "Edges", "mu"}};
+  table.add_row({spec.name, std::to_string(g.num_vertices()),
+                 std::to_string(g.num_edges()), std::to_string(slem.mu)});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("Rice-cs-grad"), std::string::npos);
+}
+
+TEST(Integration, Figure1OrderingFastVsSlow) {
+  // Wiki-vote-class analogue must reach low TVD sooner than the
+  // Physics-class analogue (paper Fig. 1a ordering).
+  const Graph fast = dataset_by_id("wiki_vote").generate(0.25, 11);
+  const Graph slow = dataset_by_id("physics_1").generate(0.5, 11);
+
+  MixingOptions options;
+  options.num_sources = 8;
+  options.max_walk_length = 60;
+  options.seed = 11;
+  const auto fast_mean = measure_mixing(fast, options).mean_curve();
+  const auto slow_mean = measure_mixing(slow, options).mean_curve();
+  EXPECT_LT(fast_mean[30], slow_mean[30]);
+  EXPECT_LT(fast_mean.back(), slow_mean.back());
+}
+
+TEST(Integration, Figure2FastMixerHasDeeperCores) {
+  // Fast mixers keep a larger fraction of vertices at high coreness.
+  const Graph fast = dataset_by_id("wiki_vote").generate(0.25, 12);
+  const Graph slow = dataset_by_id("physics_1").generate(0.5, 12);
+  const auto fast_profile = core_profile(fast);
+  const auto slow_profile = core_profile(slow);
+  ASSERT_FALSE(fast_profile.empty());
+  ASSERT_FALSE(slow_profile.empty());
+  // Compare nu at a common mid k.
+  const std::uint32_t k = 5;
+  const auto nu_at = [](const std::vector<CoreLevel>& levels,
+                        std::uint32_t kk) {
+    for (const CoreLevel& level : levels)
+      if (level.k == kk) return level.nu;
+    return 0.0;
+  };
+  EXPECT_GT(nu_at(fast_profile, k), nu_at(slow_profile, k));
+}
+
+TEST(Integration, Table2ShapeHonestDropsWithF) {
+  const Graph honest = dataset_by_id("rice_grad").generate(1.0, 13);
+  AttackParams attack;
+  attack.num_sybils = 100;
+  attack.attack_edges = 10;
+  attack.seed = 13;
+  const AttackedGraph attacked{honest, attack};
+
+  double acceptance[3];
+  const double fs[3] = {0.05, 0.1, 0.2};
+  for (int i = 0; i < 3; ++i) {
+    GateKeeperParams params;
+    params.num_distributers = 30;
+    params.f_admit = fs[i];
+    params.seed = 13;
+    acceptance[i] =
+        evaluate_gatekeeper(attacked, 0, params).honest_accept_fraction;
+  }
+  EXPECT_GE(acceptance[0], acceptance[1]);
+  EXPECT_GE(acceptance[1], acceptance[2]);
+}
+
+TEST(Integration, ExpansionOrderingMatchesMixingOrdering) {
+  // Paper Sec. V: expansion measurements are "a scale of" the mixing ones.
+  const Graph fast = dataset_by_id("wiki_vote").generate(0.2, 14);
+  const Graph slow = dataset_by_id("physics_1").generate(0.4, 14);
+
+  PropertySuiteOptions options;
+  options.mixing_sources = 6;
+  options.mixing_max_walk = 50;
+  options.expansion_sources = 150;
+  options.seed = 14;
+  const PropertyReport fast_report = measure_properties(fast, options);
+  const PropertyReport slow_report = measure_properties(slow, options);
+  EXPECT_LT(fast_report.slem.mu, slow_report.slem.mu);
+  EXPECT_GT(fast_report.min_expansion_factor,
+            slow_report.min_expansion_factor);
+}
+
+TEST(Integration, DefensesAgreeOnRankingSignal) {
+  // Viswanath et al.'s unification at miniature scale: SybilInfer's ranking
+  // separates honest from Sybil, and SybilLimit's accept set is consistent
+  // with the top of that ranking.
+  const Graph honest = dataset_by_id("rice_grad").generate(1.0, 15);
+  AttackParams attack;
+  attack.num_sybils = 120;
+  attack.attack_edges = 4;
+  attack.seed = 15;
+  const AttackedGraph attacked{honest, attack};
+
+  SybilInferParams infer_params;
+  infer_params.seed = 15;
+  const SybilInferResult infer =
+      run_sybilinfer(attacked.graph(), 0, infer_params);
+  EXPECT_GT(ranking_auc(infer.ranking, attacked), 0.8);
+}
+
+TEST(Integration, RoundTripDatasetThroughIo) {
+  const Graph g = dataset_by_id("rice_grad").generate(1.0, 16);
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  // Same spectral character after a round trip.
+  const double mu_a = second_largest_eigenvalue(g).mu;
+  const double mu_b = second_largest_eigenvalue(back).mu;
+  EXPECT_NEAR(mu_a, mu_b, 1e-6);
+}
+
+}  // namespace
+}  // namespace sntrust

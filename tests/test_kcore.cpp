@@ -1,0 +1,149 @@
+#include "cores/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::star_graph;
+using testing::two_cliques;
+
+TEST(KCore, PathCorenessIsOne) {
+  const CoreDecomposition d = core_decomposition(path_graph(6));
+  EXPECT_EQ(d.degeneracy, 1u);
+  for (const auto c : d.coreness) EXPECT_EQ(c, 1u);
+}
+
+TEST(KCore, CycleCorenessIsTwo) {
+  const CoreDecomposition d = core_decomposition(cycle_graph(7));
+  EXPECT_EQ(d.degeneracy, 2u);
+  for (const auto c : d.coreness) EXPECT_EQ(c, 2u);
+}
+
+TEST(KCore, CompleteGraphCoreness) {
+  const CoreDecomposition d = core_decomposition(complete_graph(6));
+  EXPECT_EQ(d.degeneracy, 5u);
+  for (const auto c : d.coreness) EXPECT_EQ(c, 5u);
+}
+
+TEST(KCore, StarHasCorenessOne) {
+  const CoreDecomposition d = core_decomposition(star_graph(9));
+  EXPECT_EQ(d.degeneracy, 1u);
+  EXPECT_EQ(d.coreness[0], 1u);  // hub too: peeling leaves strips it
+}
+
+TEST(KCore, CliqueWithTail) {
+  // K_5 plus a pendant path: clique vertices coreness 4, path coreness 1.
+  GraphBuilder b{8};
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) b.add_edge(u, v);
+  b.add_edge(4, 5);
+  b.add_edge(5, 6);
+  b.add_edge(6, 7);
+  const CoreDecomposition d = core_decomposition(b.build());
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(d.coreness[v], 4u);
+  for (VertexId v = 5; v < 8; ++v) EXPECT_EQ(d.coreness[v], 1u);
+}
+
+TEST(KCore, EmptyAndEdgeless) {
+  EXPECT_EQ(core_decomposition(Graph{}).degeneracy, 0u);
+  GraphBuilder b{4};
+  const CoreDecomposition d = core_decomposition(b.build());
+  EXPECT_EQ(d.degeneracy, 0u);
+  for (const auto c : d.coreness) EXPECT_EQ(c, 0u);
+}
+
+TEST(KCore, CorenessFixpointProperty) {
+  // Invariant: within the subgraph induced by {v : coreness >= k}, every
+  // vertex has at least k neighbours — for all k up to the degeneracy.
+  const Graph g = barabasi_albert(400, 3, 77);
+  const CoreDecomposition d = core_decomposition(g);
+  for (std::uint32_t k = 1; k <= d.degeneracy; ++k) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (d.coreness[v] < k) continue;
+      std::uint32_t inside = 0;
+      for (const VertexId w : g.neighbors(v))
+        if (d.coreness[w] >= k) ++inside;
+      EXPECT_GE(inside, k) << "vertex " << v << " at k=" << k;
+    }
+  }
+}
+
+TEST(KCore, CorenessIsMaximal) {
+  // Invariant: coreness[v]+1 never admits v — the (c+1)-core excludes v.
+  const Graph g = powerlaw_cluster(300, 3, 0.4, 78);
+  const CoreDecomposition d = core_decomposition(g);
+  // Spot-check: the max-coreness vertices' count at degeneracy+1 is zero.
+  EXPECT_TRUE(d.core_members(d.degeneracy + 1).empty());
+}
+
+TEST(KCore, CorenessBoundedByDegree) {
+  const Graph g = erdos_renyi(300, 0.02, 79);
+  const CoreDecomposition d = core_decomposition(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_LE(d.coreness[v], g.degree(v));
+}
+
+TEST(KCore, RemovalOrderIsDegeneracyOrdering) {
+  // In removal order, each vertex has at most `degeneracy` neighbours later
+  // in the order.
+  const Graph g = barabasi_albert(200, 4, 80);
+  const CoreDecomposition d = core_decomposition(g);
+  std::vector<std::uint32_t> position(g.num_vertices());
+  for (std::uint32_t i = 0; i < d.removal_order.size(); ++i)
+    position[d.removal_order[i]] = i;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::uint32_t later = 0;
+    for (const VertexId w : g.neighbors(v))
+      if (position[w] > position[v]) ++later;
+    EXPECT_LE(later, d.degeneracy);
+  }
+}
+
+TEST(KCore, CoreMembersMonotoneShrinking) {
+  const Graph g = powerlaw_cluster(300, 4, 0.3, 81);
+  const CoreDecomposition d = core_decomposition(g);
+  std::size_t previous = g.num_vertices() + 1;
+  for (std::uint32_t k = 0; k <= d.degeneracy; ++k) {
+    const std::size_t size = d.core_members(k).size();
+    EXPECT_LE(size, previous);
+    previous = size;
+  }
+}
+
+TEST(KCore, EcdfIsMonotoneReachingOne) {
+  const Graph g = barabasi_albert(300, 3, 82);
+  const CoreDecomposition d = core_decomposition(g);
+  const auto ecdf = coreness_ecdf(d);
+  ASSERT_EQ(ecdf.size(), d.degeneracy + 1);
+  for (std::size_t i = 1; i < ecdf.size(); ++i)
+    EXPECT_GE(ecdf[i], ecdf[i - 1]);
+  EXPECT_DOUBLE_EQ(ecdf.back(), 1.0);
+}
+
+TEST(KCore, EcdfEmptyThrows) {
+  CoreDecomposition d;
+  EXPECT_THROW(coreness_ecdf(d), std::invalid_argument);
+}
+
+TEST(KCore, BarabasiAlbertCoreIsAttachmentCount) {
+  // Every non-seed vertex arrives with degree m; peeling gives coreness m.
+  const Graph g = barabasi_albert(500, 5, 83);
+  const CoreDecomposition d = core_decomposition(g);
+  EXPECT_EQ(d.degeneracy, 5u);
+  std::uint64_t at_m = 0;
+  for (const auto c : d.coreness)
+    if (c == 5u) ++at_m;
+  EXPECT_GT(at_m, 450u);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,104 @@
+#include "markov/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "markov/spectral.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::petersen_graph;
+using testing::two_cliques;
+
+TEST(Lanczos, LeadingEigenvalueIsOne) {
+  for (const Graph& g : {petersen_graph(), path_graph(20), two_cliques(6)}) {
+    const LanczosResult result = lanczos_spectrum(g);
+    ASSERT_FALSE(result.eigenvalues.empty());
+    EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-8);
+  }
+}
+
+TEST(Lanczos, PetersenSpectrumKnown) {
+  // N = A/3 has eigenvalues {1, 1/3 (x5), -2/3 (x4)}.
+  LanczosOptions options;
+  options.num_eigenvalues = 3;
+  const LanczosResult result = lanczos_spectrum(petersen_graph(), options);
+  ASSERT_GE(result.eigenvalues.size(), 2u);
+  EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-8);
+  EXPECT_NEAR(result.eigenvalues[1], 1.0 / 3.0, 1e-8);
+}
+
+TEST(Lanczos, CompleteGraphSpectrumKnown) {
+  // K_n: eigenvalues of N are {1, -1/(n-1) x (n-1)}.
+  LanczosOptions options;
+  options.num_eigenvalues = 2;
+  const LanczosResult result = lanczos_spectrum(complete_graph(8), options);
+  ASSERT_GE(result.eigenvalues.size(), 2u);
+  EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-8);
+  EXPECT_NEAR(result.eigenvalues[1], -1.0 / 7.0, 1e-6);
+}
+
+TEST(Lanczos, Lambda2AgreesWithPowerIterationOnNonBipartite) {
+  // On graphs whose second-largest-|.| eigenvalue is positive, the SLEM and
+  // Lanczos lambda_2 coincide.
+  const Graph g = largest_component(barabasi_albert(300, 4, 11)).graph;
+  const double mu = second_largest_eigenvalue(g).mu;
+  LanczosOptions options;
+  options.num_eigenvalues = 2;
+  options.subspace = 80;
+  const LanczosResult result = lanczos_spectrum(g, options);
+  // SLEM = max(lambda_2, |lambda_min|); for BA graphs lambda_2 usually
+  // dominates; check Lanczos' lambda_2 <= mu + tolerance and close when it
+  // is the dominant side.
+  EXPECT_LE(result.eigenvalues[1], mu + 1e-6);
+}
+
+TEST(Lanczos, CycleSecondEigenvalue) {
+  // C_12: lambda_2 = cos(2 pi / 12) = sqrt(3)/2.
+  LanczosOptions options;
+  options.num_eigenvalues = 2;
+  options.subspace = 12;
+  const LanczosResult result = lanczos_spectrum(cycle_graph(12), options);
+  EXPECT_NEAR(result.eigenvalues[1], std::sqrt(3.0) / 2.0, 1e-6);
+}
+
+TEST(Lanczos, TwoCliquesNearDegenerateTop) {
+  // A near-disconnected graph has lambda_2 close to 1.
+  LanczosOptions options;
+  options.num_eigenvalues = 2;
+  const LanczosResult result = lanczos_spectrum(two_cliques(8), options);
+  EXPECT_GT(result.eigenvalues[1], 0.9);
+  EXPECT_LT(result.eigenvalues[1], 1.0);
+}
+
+TEST(Lanczos, EigenvaluesDescending) {
+  LanczosOptions options;
+  options.num_eigenvalues = 5;
+  const LanczosResult result =
+      lanczos_spectrum(largest_component(barabasi_albert(200, 3, 13)).graph,
+                       options);
+  for (std::size_t i = 1; i < result.eigenvalues.size(); ++i)
+    EXPECT_GE(result.eigenvalues[i - 1], result.eigenvalues[i] - 1e-9);
+}
+
+TEST(Lanczos, BadInputsThrow) {
+  GraphBuilder b{3};
+  EXPECT_THROW(lanczos_spectrum(b.build()), std::invalid_argument);
+  EXPECT_THROW(lanczos_spectrum(testing::disconnected_graph()),
+               std::invalid_argument);
+  LanczosOptions options;
+  options.num_eigenvalues = 0;
+  EXPECT_THROW(lanczos_spectrum(petersen_graph(), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "community/community.hpp"
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::two_cliques;
+
+TEST(Louvain, TwoCliquesSplit) {
+  const Partition p = louvain(two_cliques(8));
+  EXPECT_EQ(p.count, 2u);
+  for (VertexId v = 1; v < 8; ++v)
+    EXPECT_EQ(p.community_of[v], p.community_of[0]);
+  for (VertexId v = 9; v < 16; ++v)
+    EXPECT_EQ(p.community_of[v], p.community_of[8]);
+}
+
+TEST(Louvain, CompleteGraphIsOneCommunity) {
+  EXPECT_EQ(louvain(complete_graph(12)).count, 1u);
+}
+
+TEST(Louvain, EdgelessGraphIsSingletons) {
+  GraphBuilder b{5};
+  const Partition p = louvain(b.build());
+  EXPECT_EQ(p.count, 5u);
+}
+
+TEST(Louvain, RecoversPlantedPartition) {
+  const Graph g = planted_partition(400, 4, 0.4, 0.004, 21);
+  const Partition p = louvain(g);
+  // At most a handful of communities beyond the 4 planted (isolated bits).
+  EXPECT_GE(p.count, 4u);
+  // Pairs in the same planted block should overwhelmingly share a label.
+  std::uint32_t agreements = 0, pairs = 0;
+  for (VertexId v = 0; v < 400; v += 5) {
+    for (VertexId w = v + 1; w < std::min<VertexId>(400, v + 60); w += 7) {
+      if (v / 100 != w / 100) continue;
+      ++pairs;
+      if (p.community_of[v] == p.community_of[w]) ++agreements;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agreements) / pairs, 0.85);
+}
+
+TEST(Louvain, BeatsLabelPropagationModularityOnHardGraph) {
+  // Louvain should be at least as good as label propagation on modularity
+  // (its objective) for a noisy community graph.
+  const Graph g =
+      largest_component(planted_partition(500, 10, 0.25, 0.02, 23)).graph;
+  const double q_louvain = modularity(g, louvain(g));
+  const double q_lp = modularity(g, label_propagation(g));
+  EXPECT_GE(q_louvain, q_lp - 0.05);
+  EXPECT_GT(q_louvain, 0.3);
+}
+
+TEST(Louvain, DeterministicInSeed) {
+  const Graph g = planted_partition(300, 6, 0.3, 0.01, 25);
+  LouvainOptions options;
+  options.seed = 7;
+  const Partition a = louvain(g, options);
+  const Partition b = louvain(g, options);
+  EXPECT_EQ(a.community_of, b.community_of);
+}
+
+TEST(Louvain, PartitionIsWellFormed) {
+  const Graph g = largest_component(barabasi_albert(400, 3, 27)).graph;
+  const Partition p = louvain(g);
+  EXPECT_EQ(p.community_of.size(), g.num_vertices());
+  std::uint64_t total = 0;
+  for (const auto size : p.sizes()) {
+    EXPECT_GT(size, 0u);
+    total += size;
+  }
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_NO_THROW(modularity(g, p));
+}
+
+}  // namespace
+}  // namespace sntrust

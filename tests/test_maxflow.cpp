@@ -1,0 +1,98 @@
+#include "flow/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sntrust {
+namespace {
+
+TEST(MaxFlow, SingleArc) {
+  FlowNetwork net{2};
+  net.add_arc(0, 1, 7);
+  EXPECT_EQ(net.max_flow(0, 1), 7u);
+  EXPECT_EQ(net.arc_flow(0), 7u);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  FlowNetwork net{3};
+  net.add_arc(0, 1, 10);
+  net.add_arc(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3u);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  FlowNetwork net{4};
+  net.add_arc(0, 1, 4);
+  net.add_arc(1, 3, 4);
+  net.add_arc(0, 2, 5);
+  net.add_arc(2, 3, 5);
+  EXPECT_EQ(net.max_flow(0, 3), 9u);
+}
+
+TEST(MaxFlow, ClassicDiamondWithCrossEdge) {
+  // The textbook example where augmenting must push back over the cross arc.
+  FlowNetwork net{4};
+  net.add_arc(0, 1, 2);
+  net.add_arc(0, 2, 2);
+  net.add_arc(1, 2, 1);
+  net.add_arc(1, 3, 1);
+  net.add_arc(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 4u);
+}
+
+TEST(MaxFlow, NoPathIsZero) {
+  FlowNetwork net{4};
+  net.add_arc(0, 1, 5);
+  net.add_arc(2, 3, 5);
+  EXPECT_EQ(net.max_flow(0, 3), 0u);
+}
+
+TEST(MaxFlow, AccumulatedParallelArcs) {
+  FlowNetwork net{2};
+  net.add_arc(0, 1, 2);
+  net.add_arc(0, 1, 3);
+  EXPECT_EQ(net.max_flow(0, 1), 5u);
+}
+
+TEST(MaxFlow, DirectionalityRespected) {
+  FlowNetwork net{3};
+  net.add_arc(1, 0, 10);  // wrong direction
+  net.add_arc(1, 2, 10);
+  EXPECT_EQ(net.max_flow(0, 2), 0u);
+}
+
+TEST(MaxFlow, FlowConservationOnArcs) {
+  FlowNetwork net{5};
+  net.add_arc(0, 1, 3);
+  net.add_arc(0, 2, 4);
+  net.add_arc(1, 3, 2);
+  net.add_arc(2, 3, 5);
+  net.add_arc(1, 2, 2);
+  net.add_arc(3, 4, 6);
+  const std::uint64_t total = net.max_flow(0, 4);
+  EXPECT_EQ(total, 6u);
+  // Conservation at interior node 3: inflow == outflow.
+  const std::uint64_t into_3 = net.arc_flow(2) + net.arc_flow(3);
+  EXPECT_EQ(into_3, net.arc_flow(5));
+}
+
+TEST(MaxFlow, BadEndpointsThrow) {
+  FlowNetwork net{2};
+  net.add_arc(0, 1, 1);
+  EXPECT_THROW(net.add_arc(0, 2, 1), std::out_of_range);
+  EXPECT_THROW(net.max_flow(0, 2), std::out_of_range);
+  EXPECT_THROW(net.max_flow(1, 1), std::invalid_argument);
+  EXPECT_THROW(net.arc_flow(5), std::out_of_range);
+}
+
+TEST(MaxFlow, MinCutEqualsFlowOnKnownGraph) {
+  // s -> {a, b} -> t with capacities forming a known min cut of 7.
+  FlowNetwork net{4};
+  net.add_arc(0, 1, 4);   // s -> a
+  net.add_arc(0, 2, 9);   // s -> b
+  net.add_arc(1, 3, 8);   // a -> t
+  net.add_arc(2, 3, 3);   // b -> t
+  EXPECT_EQ(net.max_flow(0, 3), 7u);
+}
+
+}  // namespace
+}  // namespace sntrust

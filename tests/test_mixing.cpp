@@ -1,0 +1,129 @@
+#include "markov/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::barbell_graph;
+using testing::complete_graph;
+using testing::petersen_graph;
+using testing::two_cliques;
+
+MixingOptions quick_options(std::uint32_t sources, std::uint32_t length) {
+  MixingOptions options;
+  options.num_sources = sources;
+  options.max_walk_length = length;
+  options.seed = 33;
+  return options;
+}
+
+TEST(Mixing, CurvesHaveExpectedShape) {
+  const Graph g = petersen_graph();
+  const MixingCurves curves = measure_mixing(g, quick_options(10, 30));
+  EXPECT_EQ(curves.sources.size(), 10u);
+  for (const auto& curve : curves.tvd) {
+    ASSERT_EQ(curve.size(), 31u);
+    EXPECT_GT(curve.front(), 0.5);  // dirac far from stationary
+    EXPECT_LT(curve.back(), 0.05);  // expander mixes fast
+  }
+}
+
+TEST(Mixing, SourcesCappedAtN) {
+  const Graph g = complete_graph(5);
+  const MixingCurves curves = measure_mixing(g, quick_options(50, 5));
+  EXPECT_EQ(curves.sources.size(), 5u);
+}
+
+TEST(Mixing, CompleteGraphMixesInOneStep) {
+  const Graph g = complete_graph(20);
+  const MixingCurves curves = measure_mixing(g, quick_options(5, 5));
+  // After one step, distance to uniform is 1/n (only the start vertex is off).
+  for (const auto& curve : curves.tvd) EXPECT_NEAR(curve[1], 1.0 / 20, 1e-9);
+}
+
+TEST(Mixing, BarbellSlowerThanExpander) {
+  const Graph good = petersen_graph();
+  const Graph bad = two_cliques(5);
+  const auto good_curves = measure_mixing(good, quick_options(10, 60));
+  const auto bad_curves = measure_mixing(bad, quick_options(10, 60));
+  const std::uint32_t t_good = mixing_time_estimate(good_curves, 0.1);
+  const std::uint32_t t_bad = mixing_time_estimate(bad_curves, 0.1);
+  EXPECT_LT(t_good, t_bad);
+}
+
+TEST(Mixing, EstimateFindsFirstCrossing) {
+  MixingCurves curves;
+  curves.sources = {0};
+  curves.tvd = {{0.9, 0.5, 0.2, 0.05, 0.01}};
+  EXPECT_EQ(mixing_time_estimate(curves, 0.5), 1u);
+  EXPECT_EQ(mixing_time_estimate(curves, 0.05), 3u);
+  EXPECT_EQ(mixing_time_estimate(curves, 0.001), 0xFFFFFFFFu);
+}
+
+TEST(Mixing, EstimateUsesWorstSource) {
+  MixingCurves curves;
+  curves.sources = {0, 1};
+  curves.tvd = {{0.9, 0.1}, {0.9, 0.4}};
+  EXPECT_EQ(mixing_time_estimate(curves, 0.2), 0xFFFFFFFFu);
+  EXPECT_EQ(mixing_time_estimate(curves, 0.5), 1u);
+}
+
+TEST(Mixing, MeanAndMaxCurves) {
+  MixingCurves curves;
+  curves.sources = {0, 1};
+  curves.tvd = {{1.0, 0.2}, {0.5, 0.4}};
+  const auto mean = curves.mean_curve();
+  const auto worst = curves.max_curve();
+  EXPECT_DOUBLE_EQ(mean[0], 0.75);
+  EXPECT_DOUBLE_EQ(mean[1], 0.3);
+  EXPECT_DOUBLE_EQ(worst[0], 1.0);
+  EXPECT_DOUBLE_EQ(worst[1], 0.4);
+}
+
+TEST(Mixing, LazyCurveIsMonotoneNonIncreasing) {
+  const Graph g = barbell_graph();
+  MixingOptions options = quick_options(6, 50);
+  options.lazy = true;
+  const MixingCurves curves = measure_mixing(g, options);
+  for (const auto& curve : curves.tvd)
+    for (std::size_t t = 1; t < curve.size(); ++t)
+      EXPECT_LE(curve[t], curve[t - 1] + 1e-12);
+}
+
+TEST(Mixing, DisconnectedGraphThrows) {
+  EXPECT_THROW(measure_mixing(testing::disconnected_graph(), quick_options(2, 5)),
+               std::invalid_argument);
+}
+
+TEST(Mixing, ZeroSourcesThrows) {
+  EXPECT_THROW(measure_mixing(petersen_graph(), quick_options(0, 5)),
+               std::invalid_argument);
+}
+
+TEST(Mixing, EdgelessGraphThrows) {
+  GraphBuilder b{3};
+  EXPECT_THROW(measure_mixing(b.build(), quick_options(1, 5)),
+               std::invalid_argument);
+}
+
+TEST(Mixing, FastGraphBeatsSlowGraphEndToEnd) {
+  // The paper's central comparison at miniature scale: a randomly wired
+  // heavy-tailed graph vs. a strong-community SBM of the same size.
+  const Graph fast =
+      largest_component(barabasi_albert(600, 4, 3)).graph;
+  const Graph slow =
+      largest_component(planted_partition(600, 12, 0.25, 0.002, 3)).graph;
+  const auto fast_curves = measure_mixing(fast, quick_options(8, 80));
+  const auto slow_curves = measure_mixing(slow, quick_options(8, 80));
+  const double fast_final = fast_curves.max_curve().back();
+  const double slow_final = slow_curves.max_curve().back();
+  EXPECT_LT(fast_final, slow_final);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,134 @@
+#include "markov/modulated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "markov/spectral.hpp"
+#include "markov/transition.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::barbell_graph;
+using testing::complete_graph;
+using testing::petersen_graph;
+using testing::star_graph;
+
+TEST(Modulated, AlphaZeroIsPlainStep) {
+  const Graph g = petersen_graph();
+  const Distribution p = dirac(10, 0);
+  Distribution plain, modulated;
+  step_distribution(g, p, plain);
+  step_modulated(g, p, modulated, 0.0);
+  for (VertexId v = 0; v < 10; ++v)
+    EXPECT_NEAR(modulated[v], plain[v], 1e-15);
+}
+
+TEST(Modulated, HalfAlphaIsLazyStep) {
+  const Graph g = petersen_graph();
+  const Distribution p = dirac(10, 3);
+  Distribution lazy, modulated;
+  step_distribution_lazy(g, p, lazy);
+  step_modulated(g, p, modulated, 0.5);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_NEAR(modulated[v], lazy[v], 1e-15);
+}
+
+TEST(Modulated, PreservesMass) {
+  const Graph g = barbell_graph();
+  Distribution p = dirac(6, 0);
+  Distribution out;
+  for (int s = 0; s < 30; ++s) {
+    step_modulated(g, p, out, 0.3);
+    p.swap(out);
+    EXPECT_NEAR(mass(p), 1.0, 1e-12);
+  }
+}
+
+TEST(Modulated, StationaryIsFixedPoint) {
+  const Graph g = star_graph(6);
+  const Distribution pi = stationary_distribution(g);
+  Distribution out;
+  step_modulated(g, pi, out, 0.7);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_NEAR(out[v], pi[v], 1e-12);
+}
+
+TEST(Modulated, BadAlphaThrows) {
+  const Graph g = petersen_graph();
+  const Distribution p = dirac(10, 0);
+  Distribution out;
+  EXPECT_THROW(step_modulated(g, p, out, -0.1), std::invalid_argument);
+  EXPECT_THROW(step_modulated(g, p, out, 1.0), std::invalid_argument);
+}
+
+TEST(Modulated, MixingTimeGrowsWithAlpha) {
+  // The core of ref [16]: modulation deliberately slows mixing; the gap
+  // scales by (1 - alpha), so T roughly scales by 1/(1 - alpha).
+  const Graph g = largest_component(barabasi_albert(300, 4, 3)).graph;
+  const double epsilon = 0.01;
+  const std::uint32_t t0 =
+      modulated_mixing_time(g, 0.0, epsilon, 8, 400, 3);
+  const std::uint32_t t5 =
+      modulated_mixing_time(g, 0.5, epsilon, 8, 400, 3);
+  const std::uint32_t t8 =
+      modulated_mixing_time(g, 0.8, epsilon, 8, 400, 3);
+  ASSERT_NE(t0, 0xFFFFFFFFu);
+  ASSERT_NE(t5, 0xFFFFFFFFu);
+  EXPECT_LT(t0, t5);
+  EXPECT_LT(t5, t8);
+}
+
+TEST(Modulated, MixingTimeScalesLikeInverseGap) {
+  const Graph g = largest_component(barabasi_albert(300, 4, 4)).graph;
+  const double epsilon = 0.01;
+  const double t0 = modulated_mixing_time(g, 0.0, epsilon, 8, 600, 4);
+  const double t5 = modulated_mixing_time(g, 0.5, epsilon, 8, 600, 4);
+  // Expect roughly 2x, allow wide tolerance (small-t integer effects).
+  EXPECT_GT(t5 / t0, 1.4);
+  EXPECT_LT(t5 / t0, 3.5);
+}
+
+TEST(OriginatorBiased, MassConcentratesNearOriginator) {
+  const Graph g = largest_component(barabasi_albert(200, 3, 5)).graph;
+  const Distribution pi = stationary_distribution(g);
+  const Distribution localized = originator_stationary(g, 0, 0.3);
+  EXPECT_NEAR(mass(localized), 1.0, 1e-9);
+  // The originator holds far more mass than its stationary share.
+  EXPECT_GT(localized[0], 5.0 * pi[0]);
+}
+
+TEST(OriginatorBiased, HigherAlphaMoreLocalized) {
+  const Graph g = largest_component(barabasi_albert(200, 3, 6)).graph;
+  const Distribution weak = originator_stationary(g, 0, 0.1);
+  const Distribution strong = originator_stationary(g, 0, 0.6);
+  EXPECT_GT(strong[0], weak[0]);
+}
+
+TEST(OriginatorBiased, FixedPointProperty) {
+  const Graph g = petersen_graph();
+  const Distribution p = originator_stationary(g, 2, 0.25);
+  Distribution out;
+  step_originator_biased(g, p, out, 0.25, 2);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_NEAR(out[v], p[v], 1e-9);
+}
+
+TEST(OriginatorBiased, BadArgsThrow) {
+  const Graph g = petersen_graph();
+  const Distribution p = dirac(10, 0);
+  Distribution out;
+  EXPECT_THROW(step_originator_biased(g, p, out, 0.5, 99), std::out_of_range);
+  EXPECT_THROW(originator_stationary(g, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(originator_stationary(g, 99, 0.5), std::out_of_range);
+}
+
+TEST(ModulatedMixing, InvalidInputsThrow) {
+  EXPECT_THROW(
+      modulated_mixing_time(testing::disconnected_graph(), 0.1, 0.1, 4, 10, 1),
+      std::invalid_argument);
+  EXPECT_THROW(modulated_mixing_time(complete_graph(5), 0.1, 0.1, 0, 10, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

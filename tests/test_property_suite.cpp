@@ -1,0 +1,129 @@
+#include "core/property_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+PropertySuiteOptions quick_options() {
+  PropertySuiteOptions options;
+  options.mixing_sources = 10;
+  options.mixing_max_walk = 80;
+  options.expansion_sources = 200;
+  options.seed = 42;
+  return options;
+}
+
+TEST(PropertySuite, ReportBasicCountsMatch) {
+  const Graph g = largest_component(barabasi_albert(300, 4, 1)).graph;
+  const PropertyReport report = measure_properties(g, quick_options());
+  EXPECT_EQ(report.nodes, g.num_vertices());
+  EXPECT_EQ(report.edges, g.num_edges());
+  EXPECT_DOUBLE_EQ(report.epsilon, 1.0 / g.num_vertices());
+}
+
+TEST(PropertySuite, StructuralStatsPopulated) {
+  const Graph g = largest_component(powerlaw_cluster(300, 4, 0.6, 1)).graph;
+  const PropertyReport report = measure_properties(g, quick_options());
+  EXPECT_NEAR(report.mean_degree, 2.0 * g.num_edges() / g.num_vertices(),
+              1e-12);
+  EXPECT_GT(report.clustering, 0.1);  // Holme-Kim has triangles
+  EXPECT_GE(report.assortativity, -1.0);
+  EXPECT_LE(report.assortativity, 1.0);
+  EXPECT_GT(report.diameter_lb, 1u);
+}
+
+TEST(PropertySuite, ExpanderClassifiedFastSingleCore) {
+  const Graph g = largest_component(barabasi_albert(500, 4, 2)).graph;
+  const PropertyReport report = measure_properties(g, quick_options());
+  const PropertyVerdict verdict = classify(report);
+  EXPECT_TRUE(verdict.single_core);
+  EXPECT_TRUE(verdict.good_expander);
+  EXPECT_LT(report.slem.mu, 0.95);
+  EXPECT_EQ(report.max_core_count, 1u);
+}
+
+TEST(PropertySuite, CommunityGraphClassifiedSlow) {
+  const Graph g =
+      largest_component(planted_partition(500, 10, 0.3, 0.0008, 3)).graph;
+  const PropertyReport report = measure_properties(g, quick_options());
+  const PropertyVerdict verdict = classify(report);
+  EXPECT_FALSE(verdict.fast_mixing);
+  EXPECT_GT(report.slem.mu, 0.97);
+}
+
+TEST(PropertySuite, MixingCurveConsistentWithEstimate) {
+  const Graph g = largest_component(barabasi_albert(300, 5, 4)).graph;
+  const PropertyReport report = measure_properties(g, quick_options());
+  if (report.mixing_time != 0xFFFFFFFFu) {
+    const auto worst = report.mixing.max_curve();
+    EXPECT_LE(worst[report.mixing_time], report.epsilon);
+    if (report.mixing_time > 0) {
+      EXPECT_GT(worst[report.mixing_time - 1], report.epsilon);
+    }
+  }
+}
+
+TEST(PropertySuite, CoreLevelsCoverDegeneracy) {
+  const Graph g = largest_component(powerlaw_cluster(400, 4, 0.5, 5)).graph;
+  const PropertyReport report = measure_properties(g, quick_options());
+  EXPECT_EQ(report.core_levels.size(), report.degeneracy);
+  EXPECT_GT(report.top_core_relative_size, 0.0);
+  EXPECT_LE(report.top_core_relative_size, 1.0);
+}
+
+TEST(PropertySuite, ExpansionProfilePresent) {
+  const Graph g = largest_component(barabasi_albert(300, 3, 6)).graph;
+  const PropertyReport report = measure_properties(g, quick_options());
+  EXPECT_FALSE(report.expansion.points.empty());
+  EXPECT_GT(report.min_expansion_factor, 0.0);
+}
+
+TEST(PropertySuite, FastGraphBeatsSlowGraphOnAllThreeAxes) {
+  // The paper's central cross-property claim, end to end.
+  const Graph fast = largest_component(barabasi_albert(600, 4, 7)).graph;
+  const Graph slow =
+      largest_component(planted_partition(600, 12, 0.3, 0.002, 7)).graph;
+  const PropertyReport fast_report = measure_properties(fast, quick_options());
+  const PropertyReport slow_report = measure_properties(slow, quick_options());
+
+  EXPECT_LT(fast_report.slem.mu, slow_report.slem.mu);
+  EXPECT_LE(fast_report.max_core_count, slow_report.max_core_count);
+  EXPECT_GT(fast_report.min_expansion_factor,
+            slow_report.min_expansion_factor);
+}
+
+TEST(PropertySuite, InvalidInputsThrow) {
+  EXPECT_THROW(measure_properties(Graph{}, quick_options()),
+               std::invalid_argument);
+  EXPECT_THROW(measure_properties(testing::disconnected_graph(),
+                                  quick_options()),
+               std::invalid_argument);
+}
+
+TEST(PropertySuite, DeterministicForSeed) {
+  const Graph g = largest_component(barabasi_albert(200, 3, 8)).graph;
+  const PropertyReport a = measure_properties(g, quick_options());
+  const PropertyReport b = measure_properties(g, quick_options());
+  EXPECT_DOUBLE_EQ(a.slem.mu, b.slem.mu);
+  EXPECT_EQ(a.mixing_time, b.mixing_time);
+  EXPECT_EQ(a.mixing.sources, b.mixing.sources);
+  EXPECT_DOUBLE_EQ(a.min_expansion_factor, b.min_expansion_factor);
+}
+
+TEST(PropertySuite, CustomEpsilonRespected) {
+  const Graph g = largest_component(barabasi_albert(200, 4, 9)).graph;
+  PropertySuiteOptions options = quick_options();
+  options.epsilon = 0.25;
+  const PropertyReport report = measure_properties(g, options);
+  EXPECT_DOUBLE_EQ(report.epsilon, 0.25);
+  // A quarter-TVD target is reached very quickly on an expander.
+  EXPECT_LE(report.mixing_time, 10u);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,93 @@
+#include "util/prp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sntrust {
+namespace {
+
+TEST(KeyedPermutation, IsABijectionOnSmallDomains) {
+  for (std::uint32_t domain : {1u, 2u, 3u, 5u, 8u, 17u, 100u, 257u}) {
+    KeyedPermutation perm{domain, 12345};
+    std::set<std::uint32_t> images;
+    for (std::uint32_t x = 0; x < domain; ++x) {
+      const std::uint32_t y = perm.apply(x);
+      EXPECT_LT(y, domain);
+      images.insert(y);
+    }
+    EXPECT_EQ(images.size(), domain) << "domain " << domain;
+  }
+}
+
+TEST(KeyedPermutation, InvertUndoesApply) {
+  for (std::uint32_t domain : {1u, 7u, 64u, 1000u}) {
+    KeyedPermutation perm{domain, 999};
+    for (std::uint32_t x = 0; x < domain; ++x)
+      EXPECT_EQ(perm.invert(perm.apply(x)), x);
+  }
+}
+
+TEST(KeyedPermutation, ApplyUndoesInvert) {
+  KeyedPermutation perm{123, 4242};
+  for (std::uint32_t y = 0; y < 123; ++y)
+    EXPECT_EQ(perm.apply(perm.invert(y)), y);
+}
+
+TEST(KeyedPermutation, DifferentKeysGiveDifferentPermutations) {
+  KeyedPermutation a{64, 1}, b{64, 2};
+  int same = 0;
+  for (std::uint32_t x = 0; x < 64; ++x)
+    if (a.apply(x) == b.apply(x)) ++same;
+  EXPECT_LT(same, 16);
+}
+
+TEST(KeyedPermutation, DeterministicForSameKey) {
+  KeyedPermutation a{64, 77}, b{64, 77};
+  for (std::uint32_t x = 0; x < 64; ++x)
+    EXPECT_EQ(a.apply(x), b.apply(x));
+}
+
+TEST(KeyedPermutation, ZeroDomainThrows) {
+  EXPECT_THROW(KeyedPermutation(0, 1), std::invalid_argument);
+}
+
+TEST(KeyedPermutation, OutOfDomainThrows) {
+  KeyedPermutation perm{10, 1};
+  EXPECT_THROW(perm.apply(10), std::out_of_range);
+  EXPECT_THROW(perm.invert(10), std::out_of_range);
+}
+
+TEST(KeyedPermutation, NotIdentityOnAverage) {
+  // A random permutation fixes ~1 point on average; allow generous slack.
+  int fixed = 0;
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    KeyedPermutation perm{50, key};
+    for (std::uint32_t x = 0; x < 50; ++x)
+      if (perm.apply(x) == x) ++fixed;
+  }
+  EXPECT_LT(fixed, 100);  // far from 20 * 50 identity mappings
+}
+
+class PrpDomainSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PrpDomainSweep, BijectionAndInverseHold) {
+  const std::uint32_t domain = GetParam();
+  KeyedPermutation perm{domain, 0xDEADBEEF};
+  std::vector<bool> seen(domain, false);
+  for (std::uint32_t x = 0; x < domain; ++x) {
+    const std::uint32_t y = perm.apply(x);
+    ASSERT_LT(y, domain);
+    EXPECT_FALSE(seen[y]);
+    seen[y] = true;
+    EXPECT_EQ(perm.invert(y), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, PrpDomainSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 9, 15, 16, 31, 33,
+                                           63, 65, 127, 255, 511, 1023));
+
+}  // namespace
+}  // namespace sntrust

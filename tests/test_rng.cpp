@@ -1,0 +1,176 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+
+namespace sntrust {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a{7};
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformBoundOneIsAlwaysZero) {
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng rng{3};
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng{11};
+  std::array<int, 8> counts{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / 8 * 0.9);
+    EXPECT_LT(c, kDraws / 8 * 1.1);
+  }
+}
+
+TEST(Rng, UniformInCoversRange) {
+  Rng rng{5};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInBadRangeThrows) {
+  Rng rng{5};
+  EXPECT_THROW(rng.uniform_in(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform_real();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanNearHalf) {
+  Rng rng{13};
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform_real();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{17};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliRateMatchesP) {
+  Rng rng{19};
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Rng rng{23};
+  const double p = 0.2;
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(rng.geometric(p));
+  // Mean of failures-before-success geometric is (1-p)/p = 4.
+  EXPECT_NEAR(sum / kDraws, (1 - p) / p, 0.15);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng{29};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, GeometricBadPThrows) {
+  Rng rng{29};
+  EXPECT_THROW(rng.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.geometric(1.5), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng{31};
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.shuffle(std::span<int>{shuffled});
+  EXPECT_FALSE(std::equal(values.begin(), values.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(values, shuffled);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng{37};
+  const auto sample = rng.sample_without_replacement(1000, 200);
+  EXPECT_EQ(sample.size(), 200u);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 200u);
+  for (const auto v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng{41};
+  const auto sample = rng.sample_without_replacement(50, 50);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementTooManyThrows) {
+  Rng rng{43};
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a{47};
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,117 @@
+#include "gen/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+Graph base_graph(std::uint64_t seed) {
+  return largest_component(barabasi_albert(500, 4, seed)).graph;
+}
+
+TEST(Sampling, RandomVerticesSizeAndValidity) {
+  const Graph g = base_graph(1);
+  const ExtractedGraph sub = sample_random_vertices(g, 100, 1);
+  EXPECT_EQ(sub.graph.num_vertices(), 100u);
+  EXPECT_EQ(sub.original_id.size(), 100u);
+  std::set<VertexId> unique(sub.original_id.begin(), sub.original_id.end());
+  EXPECT_EQ(unique.size(), 100u);
+  // Edges in the sample exist in the parent.
+  for (const Edge& e : sub.graph.edges())
+    EXPECT_TRUE(g.has_edge(sub.original_id[e.u], sub.original_id[e.v]));
+}
+
+TEST(Sampling, RandomEdgesKeepsEndpoints) {
+  const Graph g = base_graph(2);
+  const ExtractedGraph sub = sample_random_edges(g, 50, 2);
+  EXPECT_LE(sub.graph.num_vertices(), 100u);
+  EXPECT_GE(sub.graph.num_edges(), 50u);  // induced: at least the sampled
+}
+
+TEST(Sampling, SnowballIsConnectedBall) {
+  const Graph g = base_graph(3);
+  const ExtractedGraph sub = sample_snowball(g, 120, 3);
+  EXPECT_EQ(sub.graph.num_vertices(), 120u);
+  // A BFS ball is connected except possibly for truncated last-level
+  // vertices; require the largest component to dominate.
+  const Components comps = connected_components(sub.graph);
+  EXPECT_GT(comps.sizes[comps.largest()], 100u);
+}
+
+TEST(Sampling, RandomWalkSampleIsConnected) {
+  const Graph g = base_graph(4);
+  const ExtractedGraph sub = sample_random_walk(g, 120, 4);
+  EXPECT_EQ(sub.graph.num_vertices(), 120u);
+  EXPECT_TRUE(is_connected(sub.graph));  // walk-visited set induces a
+                                         // connected subgraph
+}
+
+TEST(Sampling, SnowballInflatesDensityVsRandomVertices) {
+  // The classic bias: a BFS ball is much denser than a uniform-vertex
+  // induced sample of the same size.
+  const Graph g = base_graph(5);
+  const ExtractedGraph ball = sample_snowball(g, 100, 5);
+  const ExtractedGraph uniform = sample_random_vertices(g, 100, 5);
+  EXPECT_GT(ball.graph.num_edges(), 2 * uniform.graph.num_edges());
+}
+
+TEST(Sampling, WalkSampleBiasedTowardHighDegree) {
+  const Graph g = base_graph(6);
+  const ExtractedGraph walk = sample_random_walk(g, 100, 6);
+  const ExtractedGraph uniform = sample_random_vertices(g, 100, 6);
+  // Mean original-graph degree of sampled vertices: the walk favors hubs.
+  const auto mean_degree = [&](const ExtractedGraph& sub) {
+    double total = 0.0;
+    for (const VertexId v : sub.original_id) total += g.degree(v);
+    return total / sub.original_id.size();
+  };
+  EXPECT_GT(mean_degree(walk), mean_degree(uniform));
+}
+
+TEST(Sampling, DeterministicInSeed) {
+  const Graph g = base_graph(7);
+  EXPECT_EQ(sample_snowball(g, 80, 9).graph, sample_snowball(g, 80, 9).graph);
+  EXPECT_EQ(sample_random_walk(g, 80, 9).graph,
+            sample_random_walk(g, 80, 9).graph);
+}
+
+TEST(Sampling, BadArgsThrow) {
+  const Graph g = base_graph(8);
+  EXPECT_THROW(sample_random_vertices(g, 0, 1), std::invalid_argument);
+  EXPECT_THROW(sample_random_vertices(g, g.num_vertices() + 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sample_random_edges(g, 0, 1), std::invalid_argument);
+  EXPECT_THROW(sample_snowball(g, 0, 1), std::invalid_argument);
+  EXPECT_THROW(sample_random_walk(g, 0, 1), std::invalid_argument);
+}
+
+TEST(Assortativity, StarIsDisassortative) {
+  EXPECT_LT(degree_assortativity(testing::star_graph(10)), -0.9);
+}
+
+TEST(Assortativity, RegularGraphIsDegenerate) {
+  EXPECT_DOUBLE_EQ(degree_assortativity(testing::cycle_graph(10)), 0.0);
+  EXPECT_DOUBLE_EQ(degree_assortativity(testing::complete_graph(6)), 0.0);
+}
+
+TEST(Assortativity, InUnitRange) {
+  const Graph g = base_graph(9);
+  const double r = degree_assortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(Assortativity, BaIsDisassortativeToNeutral) {
+  // Preferential attachment is known to be (weakly) disassortative.
+  EXPECT_LT(degree_assortativity(base_graph(10)), 0.1);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,104 @@
+#include "dtn/simbet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::star_graph;
+
+TEST(CommonNeighbors, CountsSharedContacts) {
+  const Graph g = complete_graph(5);
+  std::vector<std::uint8_t> dest_adjacent(5, 0);
+  for (const VertexId w : g.neighbors(4)) dest_adjacent[w] = 1;
+  // Vertex 0's neighbours are 1,2,3,4; of those, 1,2,3 are adjacent to 4.
+  EXPECT_EQ(common_neighbors(g, 0, dest_adjacent), 3u);
+}
+
+TEST(DtnRouting, CompleteGraphAlwaysDeliversInOneHop) {
+  DtnParams params;
+  const DtnOutcome outcome = simulate_dtn_routing(complete_graph(8), 50, params);
+  EXPECT_DOUBLE_EQ(outcome.delivery_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.mean_hops, 1.0);
+}
+
+TEST(DtnRouting, StarDeliversThroughHub) {
+  DtnParams params;
+  const DtnOutcome outcome = simulate_dtn_routing(star_graph(10), 50, params);
+  EXPECT_DOUBLE_EQ(outcome.delivery_ratio, 1.0);
+  EXPECT_LE(outcome.mean_hops, 2.0);
+}
+
+TEST(DtnRouting, SimBetBeatsRandomOnCommunityGraph) {
+  const Graph g =
+      largest_component(planted_partition(400, 8, 0.3, 0.01, 5)).graph;
+  DtnParams simbet;
+  simbet.policy = DtnPolicy::kSimBet;
+  simbet.ttl = 24;
+  simbet.seed = 5;
+  DtnParams random = simbet;
+  random.policy = DtnPolicy::kRandom;
+  const DtnOutcome a = simulate_dtn_routing(g, 300, simbet);
+  const DtnOutcome b = simulate_dtn_routing(g, 300, random);
+  EXPECT_GT(a.delivery_ratio, b.delivery_ratio);
+}
+
+TEST(DtnRouting, BetweennessComponentHelpsAcrossCommunities) {
+  // Pure similarity gets stuck inside the source's community; the
+  // betweenness term pushes messages to bridging carriers.
+  const Graph g =
+      largest_component(planted_partition(400, 8, 0.3, 0.006, 6)).graph;
+  DtnParams simbet;
+  simbet.policy = DtnPolicy::kSimBet;
+  simbet.beta = 0.7;
+  simbet.ttl = 24;
+  simbet.seed = 6;
+  DtnParams similarity = simbet;
+  similarity.policy = DtnPolicy::kSimilarityOnly;
+  const DtnOutcome with_betweenness = simulate_dtn_routing(g, 300, simbet);
+  const DtnOutcome without = simulate_dtn_routing(g, 300, similarity);
+  EXPECT_GE(with_betweenness.delivery_ratio, without.delivery_ratio);
+}
+
+TEST(DtnRouting, TtlBoundsHops) {
+  const Graph g = largest_component(barabasi_albert(300, 3, 7)).graph;
+  DtnParams params;
+  params.policy = DtnPolicy::kRandom;
+  params.ttl = 4;
+  params.seed = 7;
+  const DtnOutcome outcome = simulate_dtn_routing(g, 200, params);
+  if (outcome.delivery_ratio > 0.0) {
+    EXPECT_LE(outcome.mean_hops, 4.0);
+  }
+}
+
+TEST(DtnRouting, DeterministicInSeed) {
+  const Graph g = largest_component(barabasi_albert(200, 3, 8)).graph;
+  DtnParams params;
+  params.seed = 8;
+  const DtnOutcome a = simulate_dtn_routing(g, 100, params);
+  const DtnOutcome b = simulate_dtn_routing(g, 100, params);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_DOUBLE_EQ(a.mean_hops, b.mean_hops);
+}
+
+TEST(DtnRouting, BadArgsThrow) {
+  DtnParams params;
+  EXPECT_THROW(simulate_dtn_routing(testing::disconnected_graph(), 10, params),
+               std::invalid_argument);
+  params.beta = 1.5;
+  EXPECT_THROW(simulate_dtn_routing(complete_graph(4), 10, params),
+               std::invalid_argument);
+  params.beta = 0.5;
+  params.ttl = 0;
+  EXPECT_THROW(simulate_dtn_routing(complete_graph(4), 10, params),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

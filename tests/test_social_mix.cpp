@@ -1,0 +1,101 @@
+#include "anon/social_mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::petersen_graph;
+using testing::two_cliques;
+
+TEST(ShannonEntropy, PointMassIsZero) {
+  EXPECT_DOUBLE_EQ(shannon_entropy_bits(dirac(8, 3)), 0.0);
+}
+
+TEST(ShannonEntropy, UniformIsLogN) {
+  Distribution uniform(16, 1.0 / 16.0);
+  EXPECT_NEAR(shannon_entropy_bits(uniform), 4.0, 1e-12);
+}
+
+TEST(ShannonEntropy, BetweenZeroAndLogN) {
+  Distribution d{0.5, 0.25, 0.25, 0.0};
+  const double h = shannon_entropy_bits(d);
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 2.0);
+  EXPECT_NEAR(h, 1.5, 1e-12);
+}
+
+TEST(Anonymity, CurveStartsAtZeroEntropy) {
+  const AnonymityCurve curve = measure_anonymity(petersen_graph(), 0, 20);
+  EXPECT_DOUBLE_EQ(curve.entropy_bits[0], 0.0);
+  EXPECT_NEAR(curve.leak_tvd[0], 1.0 - 3.0 / 30.0, 1e-12);
+  EXPECT_NEAR(curve.max_entropy_bits, std::log2(10.0), 1e-12);
+}
+
+TEST(Anonymity, ExpanderReachesNearMaxEntropy) {
+  const Graph g = largest_component(barabasi_albert(300, 4, 1)).graph;
+  const AnonymityCurve curve = measure_anonymity(g, 0, 40);
+  EXPECT_GT(curve.entropy_bits.back(), 0.9 * curve.max_entropy_bits);
+  EXPECT_LT(curve.leak_tvd.back(), 0.05);
+}
+
+TEST(Anonymity, LazyEntropyIsMonotone) {
+  const Graph g = two_cliques(8);
+  const AnonymityCurve curve = measure_anonymity(g, 0, 50, /*lazy=*/true);
+  for (std::size_t t = 1; t < curve.entropy_bits.size(); ++t)
+    EXPECT_GE(curve.entropy_bits[t] + 1e-9, curve.entropy_bits[t - 1]);
+}
+
+TEST(Anonymity, BarbellLeaksLongerThanExpander) {
+  const Graph good = largest_component(barabasi_albert(64, 4, 2)).graph;
+  const Graph bad = two_cliques(32);
+  const AnonymityCurve curve_good = measure_anonymity(good, 0, 30, true);
+  const AnonymityCurve curve_bad = measure_anonymity(bad, 0, 30, true);
+  EXPECT_LT(curve_good.leak_tvd.back(), curve_bad.leak_tvd.back());
+}
+
+TEST(Anonymity, InvalidInputsThrow) {
+  EXPECT_THROW(measure_anonymity(testing::disconnected_graph(), 0, 5),
+               std::invalid_argument);
+  EXPECT_THROW(measure_anonymity(petersen_graph(), 99, 5), std::out_of_range);
+}
+
+TEST(AnonymityTime, FastBeatsSlow) {
+  const Graph fast = largest_component(barabasi_albert(400, 4, 3)).graph;
+  const Graph slow =
+      largest_component(planted_partition(400, 8, 0.3, 0.004, 3)).graph;
+  const AnonymityTime t_fast = anonymity_time(fast, 0.9, 6, 200, 3);
+  const AnonymityTime t_slow = anonymity_time(slow, 0.9, 6, 200, 3);
+  ASSERT_GT(t_fast.reached, 0u);
+  if (t_slow.reached > 0) {
+    EXPECT_LT(t_fast.mean_hops, t_slow.mean_hops);
+  } else {
+    SUCCEED();  // slow graph never anonymized within 200 hops: even stronger
+  }
+}
+
+TEST(AnonymityTime, HigherFractionNeedsMoreHops) {
+  const Graph g = largest_component(barabasi_albert(300, 4, 4)).graph;
+  const AnonymityTime low = anonymity_time(g, 0.5, 6, 300, 4);
+  const AnonymityTime high = anonymity_time(g, 0.95, 6, 300, 4);
+  ASSERT_GT(low.reached, 0u);
+  ASSERT_GT(high.reached, 0u);
+  EXPECT_LE(low.mean_hops, high.mean_hops);
+}
+
+TEST(AnonymityTime, BadArgsThrow) {
+  const Graph g = petersen_graph();
+  EXPECT_THROW(anonymity_time(g, 0.0, 4, 10, 1), std::invalid_argument);
+  EXPECT_THROW(anonymity_time(g, 1.5, 4, 10, 1), std::invalid_argument);
+  EXPECT_THROW(anonymity_time(g, 0.5, 0, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,126 @@
+#include "markov/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "markov/mixing.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::petersen_graph;
+using testing::two_cliques;
+
+TEST(Slem, CompleteGraphKnownValue) {
+  // K_n: eigenvalues of P are 1 and -1/(n-1); SLEM = 1/(n-1).
+  const SlemResult r = second_largest_eigenvalue(complete_graph(10));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.mu, 1.0 / 9.0, 1e-6);
+}
+
+TEST(Slem, CycleKnownValue) {
+  // C_n: eigenvalues of P are cos(2 pi k / n). C_8 is bipartite, so the
+  // modulus of the bottom eigenvalue is 1: SLEM = 1.
+  const SlemResult even = second_largest_eigenvalue(cycle_graph(8));
+  EXPECT_NEAR(even.mu, 1.0, 1e-4);
+  // C_9: the *negative* end dominates — SLEM = |cos(8 pi / 9)| = cos(pi/9),
+  // larger than the positive lambda_2 = cos(2 pi / 9).
+  const SlemResult odd = second_largest_eigenvalue(cycle_graph(9));
+  EXPECT_NEAR(odd.mu, std::cos(M_PI / 9.0), 1e-5);
+}
+
+TEST(Slem, PetersenKnownValue) {
+  // Petersen adjacency eigenvalues {3, 1, -2}; P = A/3 -> SLEM = 2/3.
+  const SlemResult r = second_largest_eigenvalue(petersen_graph());
+  EXPECT_NEAR(r.mu, 2.0 / 3.0, 1e-6);
+}
+
+TEST(Slem, PathIsSlow) {
+  const SlemResult r = second_largest_eigenvalue(path_graph(50));
+  EXPECT_GT(r.mu, 0.99);
+  EXPECT_LT(r.mu, 1.0 + 1e-9);
+}
+
+TEST(Slem, BarbellWorseThanExpander) {
+  const SlemResult good = second_largest_eigenvalue(petersen_graph());
+  const SlemResult bad = second_largest_eigenvalue(two_cliques(6));
+  EXPECT_GT(bad.mu, good.mu);
+  EXPECT_GT(bad.mu, 0.9);  // bridge bottleneck
+}
+
+TEST(Slem, CommunityStrengthRaisesMu) {
+  const Graph weak =
+      largest_component(planted_partition(400, 4, 0.1, 0.05, 5)).graph;
+  const Graph strong =
+      largest_component(planted_partition(400, 4, 0.1, 0.002, 5)).graph;
+  const double mu_weak = second_largest_eigenvalue(weak).mu;
+  const double mu_strong = second_largest_eigenvalue(strong).mu;
+  EXPECT_GT(mu_strong, mu_weak);
+}
+
+TEST(Slem, DisconnectedThrows) {
+  EXPECT_THROW(second_largest_eigenvalue(testing::disconnected_graph()),
+               std::invalid_argument);
+}
+
+TEST(Slem, EdgelessThrows) {
+  GraphBuilder b{2};
+  EXPECT_THROW(second_largest_eigenvalue(b.build()), std::invalid_argument);
+}
+
+TEST(Slem, DeterministicAcrossCalls) {
+  const Graph g = barabasi_albert(300, 3, 9);
+  const double a = second_largest_eigenvalue(g).mu;
+  const double b = second_largest_eigenvalue(g).mu;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SinclairBounds, BracketsSamplingEstimate) {
+  // On a well-behaved expander the sampling-method T(eps) must land inside
+  // the Sinclair bracket.
+  const Graph g = largest_component(barabasi_albert(500, 4, 21)).graph;
+  const double mu = second_largest_eigenvalue(g).mu;
+  const double epsilon = 1.0 / g.num_vertices();
+  const MixingBounds bounds = sinclair_bounds(mu, epsilon, g.num_vertices());
+
+  MixingOptions options;
+  options.num_sources = 20;
+  options.max_walk_length = 200;
+  const std::uint32_t t =
+      mixing_time_estimate(measure_mixing(g, options), epsilon);
+  ASSERT_NE(t, 0xFFFFFFFFu);
+  EXPECT_GE(static_cast<double>(t) + 1.0, bounds.lower);
+  EXPECT_LE(static_cast<double>(t), bounds.upper + 1.0);
+}
+
+TEST(SinclairBounds, MonotoneInMu) {
+  const MixingBounds low = sinclair_bounds(0.9, 0.001, 1000);
+  const MixingBounds high = sinclair_bounds(0.99, 0.001, 1000);
+  EXPECT_LT(low.lower, high.lower);
+  EXPECT_LT(low.upper, high.upper);
+}
+
+TEST(SinclairBounds, LowerBelowUpper) {
+  for (const double mu : {0.5, 0.9, 0.99, 0.999}) {
+    const MixingBounds b = sinclair_bounds(mu, 0.01, 10000);
+    EXPECT_LT(b.lower, b.upper);
+  }
+}
+
+TEST(SinclairBounds, BadInputsThrow) {
+  EXPECT_THROW(sinclair_bounds(0.0, 0.1, 10), std::invalid_argument);
+  EXPECT_THROW(sinclair_bounds(1.0, 0.1, 10), std::invalid_argument);
+  EXPECT_THROW(sinclair_bounds(0.5, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(sinclair_bounds(0.5, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(sinclair_bounds(0.5, 0.1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

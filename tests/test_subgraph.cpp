@@ -1,0 +1,67 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::path_graph;
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const Graph g = path_graph(5);  // 0-1-2-3-4
+  const std::vector<VertexId> members{0, 1, 3};
+  const ExtractedGraph sub = induced_subgraph(g, members);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 1u);  // only 0-1 survives
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+}
+
+TEST(InducedSubgraph, IdMappingFollowsMemberOrder) {
+  const Graph g = path_graph(4);
+  const std::vector<VertexId> members{3, 1, 2};
+  const ExtractedGraph sub = induced_subgraph(g, members);
+  EXPECT_EQ(sub.original_id, members);
+  // Edges 1-2 and 2-3 survive under new ids: 3->0, 1->1, 2->2.
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));  // old 1-2
+  EXPECT_TRUE(sub.graph.has_edge(0, 2));  // old 3-2
+  EXPECT_FALSE(sub.graph.has_edge(0, 1));
+}
+
+TEST(InducedSubgraph, EmptyMemberSet) {
+  const Graph g = complete_graph(4);
+  const ExtractedGraph sub = induced_subgraph(g, std::vector<VertexId>{});
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+}
+
+TEST(InducedSubgraph, FullMemberSetIsIsomorphicCopy) {
+  const Graph g = complete_graph(5);
+  std::vector<VertexId> all{0, 1, 2, 3, 4};
+  const ExtractedGraph sub = induced_subgraph(g, all);
+  EXPECT_EQ(sub.graph, g);
+}
+
+TEST(InducedSubgraph, DuplicateMemberThrows) {
+  const Graph g = path_graph(4);
+  const std::vector<VertexId> members{1, 1};
+  EXPECT_THROW(induced_subgraph(g, members), std::invalid_argument);
+}
+
+TEST(InducedSubgraph, OutOfRangeMemberThrows) {
+  const Graph g = path_graph(4);
+  const std::vector<VertexId> members{0, 7};
+  EXPECT_THROW(induced_subgraph(g, members), std::invalid_argument);
+}
+
+TEST(InducedSubgraph, DegreesNeverIncrease) {
+  const Graph g = complete_graph(6);
+  const std::vector<VertexId> members{0, 2, 4};
+  const ExtractedGraph sub = induced_subgraph(g, members);
+  for (VertexId v = 0; v < sub.graph.num_vertices(); ++v)
+    EXPECT_LE(sub.graph.degree(v), g.degree(sub.original_id[v]));
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,116 @@
+#include "sybil/sumup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+Graph expander(VertexId n, std::uint64_t seed) {
+  return largest_component(barabasi_albert(n, 4, seed)).graph;
+}
+
+TEST(SumUp, CollectsAllVotesOnCompleteGraph) {
+  const Graph g = testing::complete_graph(10);
+  SumUpParams params;
+  params.expected_votes = 9;
+  const SumUpResult result = run_sumup(g, 0, {1, 2, 3, 4, 5}, params);
+  EXPECT_EQ(result.votes_cast, 5u);
+  EXPECT_EQ(result.votes_collected, 5u);
+}
+
+TEST(SumUp, CollectorOwnVoteCounts) {
+  const Graph g = testing::complete_graph(5);
+  SumUpParams params;
+  const SumUpResult result = run_sumup(g, 0, {0, 1}, params);
+  EXPECT_EQ(result.votes_collected, 2u);
+}
+
+TEST(SumUp, HonestVotesMostlyCollectedOnExpander) {
+  const Graph g = expander(400, 1);
+  SumUpParams params;
+  params.expected_votes = 40;
+  params.seed = 1;
+  std::vector<VertexId> voters;
+  for (VertexId v = 1; v <= 40; ++v) voters.push_back(v);
+  const SumUpResult result = run_sumup(g, 0, voters, params);
+  EXPECT_GT(static_cast<double>(result.votes_collected) /
+                static_cast<double>(result.votes_cast),
+            0.8);
+}
+
+TEST(SumUp, PathBottlenecksVotes) {
+  // All voters behind one edge: collector at the end of a path; capacity of
+  // the last link bounds collection.
+  const Graph g = testing::path_graph(6);
+  SumUpParams params;
+  params.expected_votes = 2;
+  const SumUpResult result = run_sumup(g, 0, {2, 3, 4, 5}, params);
+  EXPECT_LT(result.votes_collected, result.votes_cast);
+}
+
+TEST(SumUp, DuplicateVoterThrows) {
+  const Graph g = testing::complete_graph(4);
+  SumUpParams params;
+  EXPECT_THROW(run_sumup(g, 0, {1, 1}, params), std::invalid_argument);
+}
+
+TEST(SumUp, OutOfRangeThrows) {
+  const Graph g = testing::complete_graph(4);
+  SumUpParams params;
+  EXPECT_THROW(run_sumup(g, 9, {1}, params), std::out_of_range);
+  EXPECT_THROW(run_sumup(g, 0, {9}, params), std::out_of_range);
+}
+
+TEST(SumUp, SybilVotesBoundedByAttackEdges) {
+  const Graph honest = expander(500, 2);
+  AttackParams attack;
+  attack.num_sybils = 300;
+  attack.attack_edges = 5;
+  attack.seed = 2;
+  const AttackedGraph attacked{honest, attack};
+  SumUpParams params;
+  params.expected_votes = 50;
+  params.seed = 2;
+  const SumUpEvaluation eval = evaluate_sumup(attacked, 0, 50, params);
+  EXPECT_GT(eval.honest_collect_fraction, 0.7);
+  // 300 sybil votes over 5 edges unfiltered would be 60 per edge; the ticket
+  // capacities cut that to a small constant per edge.
+  EXPECT_LT(eval.sybil_votes_per_attack_edge, 10.0);
+}
+
+TEST(SumUp, MoreAttackEdgesAdmitMoreSybilVotes) {
+  const Graph honest = expander(400, 3);
+  double per_edge_total[2];
+  const std::uint32_t edges[2] = {2, 40};
+  for (int i = 0; i < 2; ++i) {
+    AttackParams attack;
+    attack.num_sybils = 200;
+    attack.attack_edges = edges[i];
+    attack.seed = 3;
+    const AttackedGraph attacked{honest, attack};
+    SumUpParams params;
+    params.expected_votes = 40;
+    params.seed = 3;
+    const SumUpEvaluation eval = evaluate_sumup(attacked, 0, 30, params);
+    per_edge_total[i] = eval.sybil_votes_per_attack_edge * edges[i];
+  }
+  EXPECT_GT(per_edge_total[1], per_edge_total[0]);
+}
+
+TEST(SumUp, EvaluationRequiresHonestCollector) {
+  const Graph honest = expander(100, 4);
+  AttackParams attack;
+  attack.num_sybils = 10;
+  attack.attack_edges = 2;
+  const AttackedGraph attacked{honest, attack};
+  SumUpParams params;
+  EXPECT_THROW(evaluate_sumup(attacked, attacked.num_honest(), 10, params),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

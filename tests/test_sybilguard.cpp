@@ -1,0 +1,114 @@
+#include "sybil/sybilguard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+Graph expander(VertexId n, std::uint64_t seed) {
+  return largest_component(barabasi_albert(n, 4, seed)).graph;
+}
+
+TEST(SybilGuard, DefaultRouteLengthIsSqrtNLogN) {
+  const Graph g = expander(400, 1);
+  SybilGuardParams params;
+  const SybilGuard guard{g, params};
+  const double n = g.num_vertices();
+  EXPECT_NEAR(guard.route_length(), std::sqrt(n * std::log2(n)), 2.0);
+}
+
+TEST(SybilGuard, ExplicitRouteLengthRespected) {
+  const Graph g = expander(100, 2);
+  SybilGuardParams params;
+  params.route_length = 17;
+  EXPECT_EQ(SybilGuard(g, params).route_length(), 17u);
+}
+
+TEST(SybilGuard, RoutesFollowEdges) {
+  const Graph g = expander(100, 3);
+  SybilGuardParams params;
+  params.route_length = 20;
+  const SybilGuard guard{g, params};
+  const auto route = guard.route_of(0, 0);
+  ASSERT_EQ(route.size(), 21u);
+  for (std::size_t i = 1; i < route.size(); ++i)
+    EXPECT_TRUE(g.has_edge(route[i - 1], route[i]));
+}
+
+TEST(SybilGuard, SelfAcceptance) {
+  const Graph g = expander(200, 4);
+  SybilGuardParams params;
+  params.seed = 4;
+  const SybilGuard guard{g, params};
+  // A vertex's routes trivially intersect themselves.
+  EXPECT_TRUE(guard.accepts(5, 5));
+}
+
+TEST(SybilGuard, HonestPairsMostlyAccepted) {
+  const Graph g = expander(300, 5);
+  SybilGuardParams params;
+  params.seed = 5;
+  const SybilGuard guard{g, params};
+  int accepted = 0;
+  for (VertexId s = 1; s <= 20; ++s)
+    if (guard.accepts(0, s)) ++accepted;
+  EXPECT_GE(accepted, 16);  // sqrt(n log n) routes in a 300-vertex expander
+}
+
+TEST(SybilGuard, EvaluationSeparatesHonestFromSybil) {
+  const Graph honest = expander(600, 6);
+  AttackParams attack;
+  attack.num_sybils = 300;
+  attack.attack_edges = 8;
+  attack.seed = 6;
+  const AttackedGraph attacked{honest, attack};
+  SybilGuardParams params;
+  params.seed = 6;
+  const PairwiseEvaluation eval =
+      evaluate_sybilguard(attacked, 0, params, 60, 60, 6);
+  EXPECT_GT(eval.honest_accept_fraction, 0.7);
+  // SybilGuard's guarantee is O(sqrt(n log n)) Sybils per attack edge
+  // (~74 here); the observed rate must at least beat the unfiltered
+  // population ratio of 300/8 = 37.5 per edge.
+  EXPECT_LT(eval.sybils_per_attack_edge, 37.5);
+}
+
+TEST(SybilGuard, MoreAttackEdgesLetMoreSybilsThrough) {
+  const Graph honest = expander(500, 7);
+  SybilGuardParams params;
+  params.seed = 7;
+  double rates[2];
+  const std::uint32_t edges[2] = {2, 60};
+  for (int i = 0; i < 2; ++i) {
+    AttackParams attack;
+    attack.num_sybils = 250;
+    attack.attack_edges = edges[i];
+    attack.seed = 7;
+    const AttackedGraph attacked{honest, attack};
+    const PairwiseEvaluation eval =
+        evaluate_sybilguard(attacked, 0, params, 30, 80, 7);
+    // Total accepted sybils = rate * edges.
+    rates[i] = eval.sybils_per_attack_edge * edges[i];
+  }
+  EXPECT_GE(rates[1], rates[0]);
+}
+
+TEST(SybilGuard, IsolatedSuspectRejected) {
+  GraphBuilder b{4};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  SybilGuardParams params;
+  params.route_length = 3;
+  const SybilGuard guard{g, params};
+  EXPECT_FALSE(guard.accepts(0, 3));
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,94 @@
+#include "sybil/sybilinfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+
+namespace sntrust {
+namespace {
+
+Graph expander(VertexId n, std::uint64_t seed) {
+  return largest_component(barabasi_albert(n, 4, seed)).graph;
+}
+
+TEST(SybilInfer, CleanGraphAcceptsEveryone) {
+  const Graph g = expander(300, 1);
+  SybilInferParams params;
+  params.seed = 1;
+  const SybilInferResult result = run_sybilinfer(g, 0, params);
+  EXPECT_EQ(result.cut, g.num_vertices());
+  for (const auto flag : result.accepted) EXPECT_TRUE(flag);
+}
+
+TEST(SybilInfer, ScoresNearOneOnCleanGraph) {
+  const Graph g = expander(300, 2);
+  SybilInferParams params;
+  params.seed = 2;
+  params.num_traces = 100000;
+  const SybilInferResult result = run_sybilinfer(g, 0, params);
+  double mean = 0.0;
+  for (const double s : result.scores) mean += s;
+  mean /= result.scores.size();
+  EXPECT_NEAR(mean, 1.0, 0.25);
+}
+
+TEST(SybilInfer, DetectsWeaklyAttachedSybilRegion) {
+  const Graph honest = expander(500, 3);
+  AttackParams attack;
+  attack.num_sybils = 250;
+  attack.attack_edges = 3;
+  attack.seed = 3;
+  const AttackedGraph attacked{honest, attack};
+  SybilInferParams params;
+  params.seed = 3;
+  const PairwiseEvaluation eval = evaluate_sybilinfer(attacked, 0, params);
+  EXPECT_GT(eval.honest_accept_fraction, 0.8);
+  // 250 sybils over 3 edges would be 83 per edge unfiltered.
+  EXPECT_LT(eval.sybils_per_attack_edge, 40.0);
+}
+
+TEST(SybilInfer, RankingPutsHonestFirstUnderWeakAttack) {
+  const Graph honest = expander(400, 4);
+  AttackParams attack;
+  attack.num_sybils = 200;
+  attack.attack_edges = 2;
+  attack.seed = 4;
+  const AttackedGraph attacked{honest, attack};
+  SybilInferParams params;
+  params.seed = 4;
+  const SybilInferResult result =
+      run_sybilinfer(attacked.graph(), 0, params);
+  EXPECT_GT(ranking_auc(result.ranking, attacked), 0.9);
+}
+
+TEST(SybilInfer, MoreAttackEdgesWeakenDetection) {
+  const Graph honest = expander(400, 5);
+  double auc[2];
+  const std::uint32_t edges[2] = {2, 150};
+  for (int i = 0; i < 2; ++i) {
+    AttackParams attack;
+    attack.num_sybils = 200;
+    attack.attack_edges = edges[i];
+    attack.seed = 5;
+    const AttackedGraph attacked{honest, attack};
+    SybilInferParams params;
+    params.seed = 5;
+    const SybilInferResult result =
+        run_sybilinfer(attacked.graph(), 0, params);
+    auc[i] = ranking_auc(result.ranking, attacked);
+  }
+  EXPECT_GT(auc[0], auc[1]);
+}
+
+TEST(SybilInfer, BadArgsThrow) {
+  const Graph g = expander(100, 6);
+  SybilInferParams params;
+  EXPECT_THROW(run_sybilinfer(g, 999, params), std::out_of_range);
+  GraphBuilder b{3};
+  EXPECT_THROW(run_sybilinfer(b.build(), 0, params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust

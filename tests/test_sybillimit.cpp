@@ -1,0 +1,132 @@
+#include "sybil/sybillimit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+
+namespace sntrust {
+namespace {
+
+Graph expander(VertexId n, std::uint64_t seed) {
+  return largest_component(barabasi_albert(n, 4, seed)).graph;
+}
+
+TEST(SybilLimit, RouteCountScalesWithSqrtM) {
+  const Graph g = expander(400, 1);
+  SybilLimitParams params;
+  params.route_factor = 2.0;
+  const SybilLimit limit{g, params};
+  const double m = static_cast<double>(g.num_edges());
+  EXPECT_NEAR(limit.num_routes(), 2.0 * std::sqrt(m), 2.0);
+}
+
+TEST(SybilLimit, DefaultRouteLengthLogarithmic) {
+  const Graph g = expander(1000, 2);
+  SybilLimitParams params;
+  const SybilLimit limit{g, params};
+  EXPECT_GE(limit.route_length(), 10u);
+  EXPECT_LE(limit.route_length(), 20u);
+}
+
+TEST(SybilLimit, HonestSuspectsMostlyAccepted) {
+  const Graph g = expander(300, 3);
+  SybilLimitParams params;
+  params.seed = 3;
+  const SybilLimit limit{g, params};
+  auto verifier = limit.make_verifier(0);
+  int accepted = 0;
+  for (VertexId s = 1; s <= 30; ++s)
+    if (verifier.accepts(s)) ++accepted;
+  EXPECT_GE(accepted, 24);
+}
+
+TEST(SybilLimit, AcceptanceIsDeterministicPerSuspectHistory) {
+  const Graph g = expander(200, 4);
+  SybilLimitParams params;
+  params.seed = 4;
+  const SybilLimit limit{g, params};
+  auto v1 = limit.make_verifier(0);
+  auto v2 = limit.make_verifier(0);
+  for (VertexId s = 1; s <= 10; ++s)
+    EXPECT_EQ(v1.accepts(s), v2.accepts(s));
+}
+
+TEST(SybilLimit, EvaluationBoundsSybilsPerEdge) {
+  const Graph honest = expander(600, 5);
+  AttackParams attack;
+  attack.num_sybils = 300;
+  attack.attack_edges = 10;
+  attack.seed = 5;
+  const AttackedGraph attacked{honest, attack};
+  SybilLimitParams params;
+  params.seed = 5;
+  const PairwiseEvaluation eval =
+      evaluate_sybillimit(attacked, 0, params, 60, 60, 5);
+  EXPECT_GT(eval.honest_accept_fraction, 0.6);
+  // SybilLimit guarantee: O(log n) sybils per attack edge << 30 (= 300/10).
+  EXPECT_LT(eval.sybils_per_attack_edge, 20.0);
+}
+
+TEST(SybilLimit, BalanceConditionThrottlesFlooding) {
+  // The balance condition caps per-tail load: re-registering the same
+  // suspect floods its (fixed) intersecting tails while the average load
+  // over all tails grows much slower, so with a tight slack the verifier
+  // must eventually start refusing.
+  const Graph g = expander(200, 6);
+  SybilLimitParams params;
+  params.seed = 6;
+  params.balance_slack = 0.5;
+  const SybilLimit limit{g, params};
+  auto verifier = limit.make_verifier(0);
+  int accepted = 0;
+  for (int round = 0; round < 500; ++round)
+    if (verifier.accepts(17)) ++accepted;
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted, 500);
+}
+
+TEST(SybilLimit, TrustModulationLengthensRoutes) {
+  const Graph g = expander(300, 9);
+  SybilLimitParams plain;
+  SybilLimitParams modulated;
+  modulated.trust_alpha = 0.5;
+  const std::uint32_t w0 = SybilLimit{g, plain}.route_length();
+  const std::uint32_t w5 = SybilLimit{g, modulated}.route_length();
+  EXPECT_EQ(w5, static_cast<std::uint32_t>(std::ceil(w0 / 0.5)));
+}
+
+TEST(SybilLimit, BadTrustAlphaThrows) {
+  const Graph g = expander(100, 10);
+  SybilLimitParams params;
+  params.trust_alpha = 1.0;
+  EXPECT_THROW(SybilLimit(g, params), std::invalid_argument);
+  params.trust_alpha = -0.1;
+  EXPECT_THROW(SybilLimit(g, params), std::invalid_argument);
+}
+
+TEST(SybilLimit, TighterBalanceRejectsMore) {
+  const Graph honest = expander(400, 7);
+  AttackParams attack;
+  attack.num_sybils = 200;
+  attack.attack_edges = 30;
+  attack.seed = 7;
+  const AttackedGraph attacked{honest, attack};
+
+  double sybils[2];
+  const double slack[2] = {0.2, 50.0};
+  for (int i = 0; i < 2; ++i) {
+    SybilLimitParams params;
+    params.seed = 7;
+    params.balance_slack = slack[i];
+    const PairwiseEvaluation eval =
+        evaluate_sybillimit(attacked, 0, params, 40, 80, 7);
+    sybils[i] = eval.sybils_per_attack_edge;
+  }
+  EXPECT_LE(sybils[0], sybils[1] + 1e-9);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -1,0 +1,131 @@
+#include "sybil/sybilrank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+Graph expander(VertexId n, std::uint64_t seed) {
+  return largest_component(barabasi_albert(n, 4, seed)).graph;
+}
+
+TEST(SybilRank, IterationsDefaultToLogN) {
+  const Graph g = expander(1000, 1);
+  const SybilRankResult result = run_sybilrank(g, {0});
+  EXPECT_GE(result.iterations_used, 9u);
+  EXPECT_LE(result.iterations_used, 12u);
+}
+
+TEST(SybilRank, TrustMassConserved) {
+  const Graph g = expander(300, 2);
+  const SybilRankResult result = run_sybilrank(g, {0, 1, 2});
+  double mass = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    mass += result.scores[v] * g.degree(v);
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(SybilRank, CleanGraphScoresNearUniform) {
+  // After ~log n steps on an expander, degree-normalized trust is close to
+  // 1/2m for everyone (the equalization the defense relies on).
+  const Graph g = expander(400, 3);
+  const SybilRankResult result = run_sybilrank(g, {0});
+  const double expected = 1.0 / (2.0 * static_cast<double>(g.num_edges()));
+  std::uint32_t far_off = 0;
+  for (const double s : result.scores)
+    if (s < expected / 4 || s > expected * 4) ++far_off;
+  EXPECT_LT(far_off, g.num_vertices() / 10);
+}
+
+TEST(SybilRank, RanksSybilsLast) {
+  const Graph honest = expander(600, 4);
+  AttackParams attack;
+  attack.num_sybils = 300;
+  attack.attack_edges = 8;
+  attack.seed = 4;
+  const AttackedGraph attacked{honest, attack};
+  const SybilRankResult result = run_sybilrank(attacked.graph(), {0, 1, 2});
+  EXPECT_GT(ranking_auc(result.ranking, attacked), 0.95);
+}
+
+TEST(SybilRank, EvaluationBoundsSybils) {
+  const Graph honest = expander(500, 5);
+  AttackParams attack;
+  attack.num_sybils = 250;
+  attack.attack_edges = 10;
+  attack.seed = 5;
+  const AttackedGraph attacked{honest, attack};
+  const PairwiseEvaluation eval = evaluate_sybilrank(attacked, {0});
+  EXPECT_GT(eval.honest_accept_fraction, 0.9);
+  EXPECT_LT(eval.sybils_per_attack_edge, 10.0);  // unfiltered = 25
+}
+
+TEST(SybilRank, MoreSeedsIsMoreRobust) {
+  // With one seed adjacent to an attack edge, trust leaks fast; spreading
+  // seeds dilutes the leak. Compare AUC with 1 vs 10 seeds where the single
+  // seed is an attack endpoint.
+  const Graph honest = expander(500, 6);
+  AttackParams attack;
+  attack.num_sybils = 250;
+  attack.attack_edges = 10;
+  attack.seed = 6;
+  const AttackedGraph attacked{honest, attack};
+  const VertexId bad_seed = attacked.attack_endpoints().front();
+  const double auc_single =
+      ranking_auc(run_sybilrank(attacked.graph(), {bad_seed}).ranking,
+                  attacked);
+  std::vector<VertexId> seeds{bad_seed};
+  for (VertexId s = 0; seeds.size() < 10; ++s)
+    if (s != bad_seed) seeds.push_back(s);
+  const double auc_many =
+      ranking_auc(run_sybilrank(attacked.graph(), seeds).ranking, attacked);
+  EXPECT_GE(auc_many, auc_single - 0.02);
+}
+
+TEST(SybilRank, EarlyTerminationIsTheDefense) {
+  // Running the propagation to stationarity erases the honest/Sybil
+  // distinction: degree-normalized trust converges to the constant 1/2m for
+  // everyone. The relative score gap between the honest and Sybil means
+  // must collapse as iterations grow.
+  const Graph honest = expander(400, 7);
+  AttackParams attack;
+  attack.num_sybils = 200;
+  attack.attack_edges = 6;
+  attack.seed = 7;
+  const AttackedGraph attacked{honest, attack};
+
+  const auto relative_gap = [&](std::uint32_t iterations) {
+    SybilRankParams params;
+    params.iterations = iterations;
+    const SybilRankResult result =
+        run_sybilrank(attacked.graph(), {0}, params);
+    double honest_mean = 0.0, sybil_mean = 0.0;
+    for (VertexId v = 0; v < attacked.graph().num_vertices(); ++v) {
+      if (attacked.is_sybil(v)) sybil_mean += result.scores[v];
+      else honest_mean += result.scores[v];
+    }
+    honest_mean /= attacked.num_honest();
+    sybil_mean /= attacked.num_sybils();
+    return (honest_mean - sybil_mean) / honest_mean;
+  };
+
+  const double gap_early = relative_gap(0);  // default log n
+  const double gap_late = relative_gap(2000);
+  EXPECT_GT(gap_early, 0.3);   // log n steps: honest clearly above Sybil
+  EXPECT_LT(gap_late, 0.02);   // stationarity: distinction gone
+}
+
+TEST(SybilRank, BadArgsThrow) {
+  const Graph g = expander(100, 8);
+  EXPECT_THROW(run_sybilrank(g, {}), std::invalid_argument);
+  EXPECT_THROW(run_sybilrank(g, {9999}), std::out_of_range);
+  GraphBuilder b{3};
+  EXPECT_THROW(run_sybilrank(b.build(), {0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sntrust
