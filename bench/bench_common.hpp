@@ -6,11 +6,11 @@
 // >1 to push closer to the paper's raw sizes).
 #pragma once
 
-#include <chrono>
 #include <iostream>
 #include <string>
 
 #include "gen/datasets.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 
 namespace sntrust::bench {
@@ -23,24 +23,27 @@ inline double dataset_scale(double base = 0.35) {
   return base * bench_scale();
 }
 
-/// Banner + wall-clock scope timer.
+/// Banner + wall-clock scope timer, built on the obs layer: the printed
+/// elapsed time comes from obs::Stopwatch and the scope is recorded as a
+/// trace span, so `SNTRUST_TRACE=<path> ./fig1_mixing_time` captures every
+/// bench section alongside the library's own spans.
 class Section {
  public:
-  explicit Section(std::string title) : title_(std::move(title)) {
+  explicit Section(std::string title)
+      : title_(std::move(title)), span_(title_, "bench") {
     std::cout << "=== " << title_ << " ===\n";
-    start_ = std::chrono::steady_clock::now();
   }
   ~Section() {
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start_);
-    std::cout << "[" << title_ << ": " << elapsed.count() << " ms]\n\n";
+    std::cout << "[" << title_ << ": "
+              << static_cast<long long>(stopwatch_.elapsed_ms()) << " ms]\n\n";
   }
   Section(const Section&) = delete;
   Section& operator=(const Section&) = delete;
 
  private:
   std::string title_;
-  std::chrono::steady_clock::time_point start_;
+  obs::Span span_;
+  obs::Stopwatch stopwatch_;
 };
 
 }  // namespace sntrust::bench

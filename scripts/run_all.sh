@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
 # Builds, tests, and regenerates every paper artifact, capturing the runs at
 # the repository root (the files EXPERIMENTS.md points to).
+#
+# Uses Ninja when available but does not require it — tier-1 CI runs the
+# default generator.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+cmake -B build -S . "${GENERATOR[@]}"
+cmake --build build -j "$(nproc)"
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -7,6 +7,7 @@
 #include "cores/kcore.hpp"
 #include "graph/components.hpp"
 #include "graph/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace sntrust {
 
@@ -17,6 +18,8 @@ PropertyReport measure_properties(const Graph& g,
   if (!is_connected(g))
     throw std::invalid_argument("measure_properties: graph must be connected");
 
+  const obs::Span suite_span{"measure_properties"};
+
   PropertyReport report;
   report.nodes = g.num_vertices();
   report.edges = g.num_edges();
@@ -24,46 +27,56 @@ PropertyReport measure_properties(const Graph& g,
                        ? options.epsilon
                        : 1.0 / static_cast<double>(g.num_vertices());
 
-  // Structural characteristics.
-  report.mean_degree =
-      2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
-  report.clustering = average_local_clustering(g);
-  report.assortativity = degree_assortativity(g);
-  report.diameter_lb = double_sweep_diameter(g);
-
-  // Spectral side.
-  SlemOptions slem_options;
-  slem_options.seed = options.seed ^ 0xa076bc9af7d1c8e3ULL;
-  report.slem = second_largest_eigenvalue(g, slem_options);
-  if (report.slem.mu > 0.0 && report.slem.mu < 1.0)
-    report.bounds =
-        sinclair_bounds(report.slem.mu, report.epsilon, g.num_vertices());
-
-  // Sampling side.
-  MixingOptions mixing_options;
-  mixing_options.num_sources = options.mixing_sources;
-  mixing_options.max_walk_length = options.mixing_max_walk;
-  mixing_options.seed = options.seed;
-  report.mixing = measure_mixing(g, mixing_options);
-  report.mixing_time = mixing_time_estimate(report.mixing, report.epsilon);
-
-  // Cores.
-  const CoreDecomposition cores = core_decomposition(g);
-  report.degeneracy = cores.degeneracy;
-  report.core_levels = core_profile(g, cores);
-  if (!report.core_levels.empty()) {
-    report.top_core_relative_size = report.core_levels.back().nu;
-    for (const CoreLevel& level : report.core_levels)
-      report.max_core_count =
-          std::max(report.max_core_count, level.num_components);
+  {  // Structural characteristics.
+    const obs::Span span{"stats"};
+    report.mean_degree =
+        2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+    report.clustering = average_local_clustering(g);
+    report.assortativity = degree_assortativity(g);
+    report.diameter_lb = double_sweep_diameter(g);
   }
 
-  // Expansion.
-  ExpansionOptions expansion_options;
-  expansion_options.num_sources = options.expansion_sources;
-  expansion_options.seed = options.seed ^ 0x51ed270b8a0f6d1fULL;
-  report.expansion = measure_expansion(g, expansion_options);
-  report.min_expansion_factor = report.expansion.min_alpha(g.num_vertices());
+  {  // Spectral side.
+    const obs::Span span{"spectral"};
+    SlemOptions slem_options;
+    slem_options.seed = options.seed ^ 0xa076bc9af7d1c8e3ULL;
+    report.slem = second_largest_eigenvalue(g, slem_options);
+    if (report.slem.mu > 0.0 && report.slem.mu < 1.0)
+      report.bounds =
+          sinclair_bounds(report.slem.mu, report.epsilon, g.num_vertices());
+  }
+
+  {  // Sampling side.
+    const obs::Span span{"mixing"};
+    MixingOptions mixing_options;
+    mixing_options.num_sources = options.mixing_sources;
+    mixing_options.max_walk_length = options.mixing_max_walk;
+    mixing_options.seed = options.seed;
+    report.mixing = measure_mixing(g, mixing_options);
+    report.mixing_time = mixing_time_estimate(report.mixing, report.epsilon);
+  }
+
+  {  // Cores.
+    const obs::Span span{"cores"};
+    const CoreDecomposition cores = core_decomposition(g);
+    report.degeneracy = cores.degeneracy;
+    report.core_levels = core_profile(g, cores);
+    if (!report.core_levels.empty()) {
+      report.top_core_relative_size = report.core_levels.back().nu;
+      for (const CoreLevel& level : report.core_levels)
+        report.max_core_count =
+            std::max(report.max_core_count, level.num_components);
+    }
+  }
+
+  {  // Expansion.
+    const obs::Span span{"expansion"};
+    ExpansionOptions expansion_options;
+    expansion_options.num_sources = options.expansion_sources;
+    expansion_options.seed = options.seed ^ 0x51ed270b8a0f6d1fULL;
+    report.expansion = measure_expansion(g, expansion_options);
+    report.min_expansion_factor = report.expansion.min_alpha(g.num_vertices());
+  }
 
   return report;
 }

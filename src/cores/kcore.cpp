@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sntrust {
 
 std::vector<VertexId> CoreDecomposition::core_members(std::uint32_t k) const {
@@ -13,7 +16,9 @@ std::vector<VertexId> CoreDecomposition::core_members(std::uint32_t k) const {
 }
 
 CoreDecomposition core_decomposition(const Graph& g) {
+  const obs::Span span{"core_decomposition", "cores"};
   const VertexId n = g.num_vertices();
+  obs::count("kcore.vertices_peeled", n);
   CoreDecomposition out;
   out.coreness.assign(n, 0);
   out.removal_order.reserve(n);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "graph/traversal.hpp"
+#include "obs/metrics.hpp"
 
 namespace sntrust {
 
@@ -30,6 +31,10 @@ EnvelopeProfile envelope_from_levels(
 
 EnvelopeProfile envelope_profile(const Graph& g, VertexId source) {
   const BfsResult result = bfs(g, source);
+  static obs::Counter& envelopes = obs::metrics_counter("expansion.envelopes");
+  envelopes.add(1);
+  static obs::Histogram& depth = obs::metrics_histogram("expansion.bfs_depth");
+  depth.observe(static_cast<double>(result.level_sizes.size() - 1));
   return envelope_from_levels(source, result.level_sizes);
 }
 

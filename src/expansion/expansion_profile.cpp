@@ -5,6 +5,9 @@
 
 #include "graph/components.hpp"
 #include "graph/traversal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -43,11 +46,22 @@ ExpansionProfile measure_expansion(const Graph& g,
   };
   std::map<std::uint64_t, Accumulator> by_size;
 
+  const obs::Span span{"measure_expansion", "expansion"};
+  static obs::Counter& bfs_runs = obs::metrics_counter("expansion.bfs_runs");
+  static obs::Histogram& frontier =
+      obs::metrics_histogram("expansion.bfs_frontier");
+
   ExpansionProfile out;
   BfsRunner runner{g};
+  obs::ProgressMeter progress{"expansion sources",
+                              static_cast<std::uint64_t>(sources.size())};
   for (const VertexId source : sources) {
     const BfsResult& result = runner.run(source);
+    bfs_runs.add(1);
+    progress.tick();
     const auto& levels = result.level_sizes;
+    for (const std::uint64_t level_size : levels)
+      frontier.observe(static_cast<double>(level_size));
     out.max_depth = std::max(
         out.max_depth, static_cast<std::uint32_t>(levels.size() - 1));
     std::uint64_t envelope = 0;

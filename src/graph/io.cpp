@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sntrust {
 
@@ -33,6 +35,7 @@ T read_pod(std::istream& in) {
 }  // namespace
 
 Graph read_edge_list(std::istream& in) {
+  const obs::Span span{"io.read_edge_list", "io"};
   std::unordered_map<std::uint64_t, VertexId> id_map;
   std::vector<std::pair<VertexId, VertexId>> edges;
   std::string line;
@@ -53,6 +56,8 @@ Graph read_edge_list(std::istream& in) {
                                std::to_string(line_no) + ": '" + line + "'");
     edges.emplace_back(intern(a), intern(b));
   }
+  obs::count("io.lines_read", line_no);
+  obs::count("io.edges_read", edges.size());
   GraphBuilder builder{static_cast<VertexId>(id_map.size())};
   builder.reserve(edges.size());
   for (const auto& [u, v] : edges) builder.add_edge(u, v);
@@ -66,9 +71,11 @@ Graph read_edge_list_file(const std::string& path) {
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {
+  const obs::Span span{"io.write_edge_list", "io"};
   for (VertexId u = 0; u < g.num_vertices(); ++u)
     for (VertexId v : g.neighbors(u))
       if (u < v) out << u << ' ' << v << '\n';
+  obs::count("io.edges_written", g.num_edges());
 }
 
 void write_edge_list_file(const Graph& g, const std::string& path) {
@@ -79,6 +86,7 @@ void write_edge_list_file(const Graph& g, const std::string& path) {
 }
 
 void write_binary_file(const Graph& g, const std::string& path) {
+  const obs::Span span{"io.write_binary", "io"};
   std::ofstream out{path, std::ios::binary};
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   write_pod(out, kBinaryMagic);
@@ -94,6 +102,7 @@ void write_binary_file(const Graph& g, const std::string& path) {
 }
 
 Graph read_binary_file(const std::string& path) {
+  const obs::Span span{"io.read_binary", "io"};
   std::ifstream in{path, std::ios::binary};
   if (!in) throw std::runtime_error("cannot open binary graph: " + path);
   if (read_pod<std::uint64_t>(in) != kBinaryMagic)

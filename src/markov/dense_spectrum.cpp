@@ -5,9 +5,13 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sntrust {
 
 DenseSpectrum dense_spectrum(const Graph& g, std::uint32_t max_sweeps) {
+  const obs::Span span{"dense_spectrum", "markov"};
   const VertexId n = g.num_vertices();
   if (n == 0 || g.num_edges() == 0)
     throw std::invalid_argument("dense_spectrum: graph must have edges");
@@ -34,6 +38,7 @@ DenseSpectrum dense_spectrum(const Graph& g, std::uint32_t max_sweeps) {
     for (VertexId p = 0; p < n; ++p)
       for (VertexId q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
     if (off < 1e-22) break;
+    obs::count("jacobi.sweeps");
 
     for (VertexId p = 0; p < n; ++p) {
       for (VertexId q = p + 1; q < n; ++q) {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "graph/components.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -73,6 +75,7 @@ std::vector<double> tridiagonal_eigenvalues(const std::vector<double>& diag,
 }  // namespace
 
 LanczosResult lanczos_spectrum(const Graph& g, const LanczosOptions& options) {
+  const obs::Span span{"lanczos", "markov"};
   const VertexId n = g.num_vertices();
   if (n == 0 || g.num_edges() == 0)
     throw std::invalid_argument("lanczos_spectrum: graph must have edges");
@@ -125,6 +128,8 @@ LanczosResult lanczos_spectrum(const Graph& g, const LanczosOptions& options) {
     off.push_back(beta);
     for (VertexId v = 0; v < n; ++v) q[v] = w[v] / beta;
   }
+
+  obs::count("lanczos.iterations", result.iterations);
 
   std::vector<double> values = tridiagonal_eigenvalues(diag, off);
   std::reverse(values.begin(), values.end());  // descending

@@ -6,6 +6,9 @@
 #include "graph/components.hpp"
 #include "markov/transition.hpp"
 #include "markov/walker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -37,6 +40,7 @@ MixingCurves measure_mixing(const Graph& g, const MixingOptions& options) {
   if (!is_connected(g))
     throw std::invalid_argument("measure_mixing: graph must be connected");
 
+  const obs::Span span{"measure_mixing", "markov"};
   Rng rng{options.seed};
   const std::uint32_t k = std::min<std::uint32_t>(options.num_sources, n);
 
@@ -46,6 +50,7 @@ MixingCurves measure_mixing(const Graph& g, const MixingOptions& options) {
   const Distribution pi = stationary_distribution(g);
   Distribution p, buffer(n);
   out.tvd.reserve(k);
+  obs::ProgressMeter progress{"mixing sources", k};
   for (const VertexId source : out.sources) {
     p = dirac(n, source);
     std::vector<double> curve;
@@ -58,7 +63,11 @@ MixingCurves measure_mixing(const Graph& g, const MixingOptions& options) {
       curve.push_back(total_variation(p, pi));
     }
     out.tvd.push_back(std::move(curve));
+    progress.tick();
   }
+  obs::count("mixing.sources", k);
+  obs::count("mixing.distribution_steps",
+             static_cast<std::uint64_t>(k) * options.max_walk_length);
   return out;
 }
 
@@ -86,6 +95,8 @@ MixingCurves measure_mixing_monte_carlo(const Graph& g,
   std::vector<std::uint32_t> counts(n);
   Distribution empirical(n);
   out.tvd.reserve(k);
+  const obs::Span span{"measure_mixing_monte_carlo", "markov"};
+  obs::ProgressMeter progress{"monte-carlo mixing sources", k};
   for (const VertexId source : out.sources) {
     std::vector<double> curve;
     curve.reserve(options.max_walk_length + 1);
@@ -98,6 +109,7 @@ MixingCurves measure_mixing_monte_carlo(const Graph& g,
       curve.push_back(total_variation(empirical, pi));
     }
     out.tvd.push_back(std::move(curve));
+    progress.tick();
   }
   return out;
 }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "graph/components.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -40,6 +42,7 @@ double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
 
 SlemResult second_largest_eigenvalue(const Graph& g,
                                      const SlemOptions& options) {
+  const obs::Span span{"slem.power_iteration", "markov"};
   const VertexId n = g.num_vertices();
   if (n == 0 || g.num_edges() == 0)
     throw std::invalid_argument(
@@ -77,6 +80,14 @@ SlemResult second_largest_eigenvalue(const Graph& g,
   }
 
   SlemResult result;
+  // Flush the iteration count into the metrics registry on every exit path.
+  struct CountIterations {
+    const std::uint32_t& iterations;
+    ~CountIterations() {
+      static obs::Counter& c = obs::metrics_counter("slem.iterations");
+      c.add(iterations);
+    }
+  } count_iterations{result.iterations};
   std::vector<double> y;
   double previous = 0.0;
   for (std::uint32_t it = 1; it <= options.max_iterations; ++it) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/prp.hpp"
 
 namespace sntrust {
@@ -21,6 +22,8 @@ std::vector<VertexId> RandomWalker::walk(VertexId start, std::uint32_t length) {
     at = nbrs[rng_.uniform(nbrs.size())];
     trail.push_back(at);
   }
+  static obs::Counter& walk_steps = obs::metrics_counter("walk.steps");
+  walk_steps.add(length);
   return trail;
 }
 
@@ -35,6 +38,8 @@ VertexId RandomWalker::walk_endpoint(VertexId start, std::uint32_t length) {
     const auto nbrs = graph_.neighbors(at);
     at = nbrs[rng_.uniform(nbrs.size())];
   }
+  static obs::Counter& walk_steps = obs::metrics_counter("walk.steps");
+  walk_steps.add(length);
   return at;
 }
 

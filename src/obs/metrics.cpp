@@ -1,0 +1,107 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+
+namespace sntrust::obs {
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN land in bucket 0 too
+  const auto exponent = static_cast<std::size_t>(std::floor(std::log2(value)));
+  return std::min(exponent + 1, kHistogramBuckets - 1);
+}
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = data_.max = value;
+  } else {
+    data_.min = std::min(data_.min, value);
+    data_.max = std::max(data_.max, value);
+  }
+  ++data_.count;
+  data_.sum += value;
+  ++data_.buckets[bucket_index(value)];
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_ = HistogramSnapshot{
+      0, 0.0, 0.0, 0.0, std::vector<std::uint64_t>(kHistogramBuckets, 0)};
+}
+
+Metrics& Metrics::instance() {
+  static Metrics metrics;
+  return metrics;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_[name];
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_)
+    out.counters.emplace(name, counter.value());
+  for (const auto& [name, gauge] : gauges_)
+    out.gauges.emplace(name, gauge.value());
+  for (const auto& [name, histogram] : histograms_)
+    out.histograms.emplace(name, histogram.snapshot());
+  return out;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, gauge] : gauges_) gauge.reset();
+  for (auto& [name, histogram] : histograms_) histogram.reset();
+}
+
+Table Metrics::to_table() const {
+  const MetricsSnapshot snap = snapshot();
+  Table table{{"kind", "metric", "value"}};
+  for (const auto& [name, value] : snap.counters)
+    table.add_row({"counter", name, with_thousands(value)});
+  for (const auto& [name, value] : snap.gauges)
+    table.add_row({"gauge", name, compact(value)});
+  for (const auto& [name, histogram] : snap.histograms)
+    table.add_row({"histogram", name,
+                   with_thousands(histogram.count) + " obs, mean " +
+                       compact(histogram.mean()) + ", min " +
+                       compact(histogram.min) + ", max " +
+                       compact(histogram.max)});
+  return table;
+}
+
+void count(const std::string& name, std::uint64_t delta) {
+  Metrics::instance().counter(name).add(delta);
+}
+
+void set_gauge(const std::string& name, double value) {
+  Metrics::instance().gauge(name).set(value);
+}
+
+void observe(const std::string& name, double value) {
+  Metrics::instance().histogram(name).observe(value);
+}
+
+}  // namespace sntrust::obs

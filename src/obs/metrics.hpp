@@ -1,0 +1,127 @@
+// Process-wide metrics registry: named counters, gauges, and power-of-two
+// histograms instrumenting the measurement pipeline (power-iteration counts,
+// walk steps, BFS frontier sizes, GateKeeper ticket totals, ...).
+//
+// Counters and gauges are lock-free after the first lookup; hot paths cache
+// the returned reference (`static Counter& c = metrics_counter("walk.steps")`)
+// so the steady-state cost is one relaxed atomic add. `snapshot()` gives a
+// consistent copy for reports and tests; `to_table()` feeds the report/
+// sinks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "report/table.hpp"
+
+namespace sntrust::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two bucketed distribution of non-negative samples: bucket 0
+/// holds values < 1, bucket i >= 1 holds values in [2^(i-1), 2^i).
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets entries
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+class Histogram {
+ public:
+  void observe(double value);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  /// Bucket index a value lands in (exposed for tests).
+  static std::size_t bucket_index(double value);
+
+ private:
+  mutable std::mutex mutex_;
+  HistogramSnapshot data_{0, 0.0, 0.0, 0.0,
+                          std::vector<std::uint64_t>(kHistogramBuckets, 0)};
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Registry of all metrics in the process. Registration is mutex-guarded;
+/// returned references stay valid for the process lifetime (node-based
+/// storage), so call sites may cache them.
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric in place (registered references stay
+  /// valid). Tests and long-lived sweeps use this between runs.
+  void reset();
+
+  /// One row per metric: kind, name, value summary.
+  Table to_table() const;
+
+ private:
+  Metrics() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Convenience forwarders for cold call sites.
+void count(const std::string& name, std::uint64_t delta = 1);
+void set_gauge(const std::string& name, double value);
+void observe(const std::string& name, double value);
+
+/// Cached-handle helpers for hot call sites.
+inline Counter& metrics_counter(const std::string& name) {
+  return Metrics::instance().counter(name);
+}
+inline Histogram& metrics_histogram(const std::string& name) {
+  return Metrics::instance().histogram(name);
+}
+
+}  // namespace sntrust::obs

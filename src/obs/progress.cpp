@@ -1,0 +1,58 @@
+#include "obs/progress.hpp"
+
+#include <iostream>
+
+#include "util/env.hpp"
+#include "util/format.hpp"
+
+namespace sntrust::obs {
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total,
+                             ProgressOptions options)
+    : label_(std::move(label)),
+      total_(total),
+      out_(options.out != nullptr ? options.out : &std::cerr),
+      min_interval_(options.min_interval),
+      enabled_(options.enabled.has_value()
+                   ? *options.enabled
+                   : env_bool("SNTRUST_PROGRESS", false)) {}
+
+ProgressMeter::~ProgressMeter() { done(); }
+
+void ProgressMeter::tick(std::uint64_t delta) {
+  current_ += delta;
+  if (!enabled_ || finished_) return;
+  const std::uint64_t now = stopwatch_.elapsed_ns();
+  const auto interval_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(min_interval_)
+          .count());
+  if (now - last_emit_ns_ < interval_ns) return;
+  last_emit_ns_ = now;
+  emit(false);
+}
+
+void ProgressMeter::done() {
+  if (!enabled_ || finished_) {
+    finished_ = true;
+    return;
+  }
+  finished_ = true;
+  emit(true);
+}
+
+void ProgressMeter::emit(bool final_line) {
+  ++emissions_;
+  *out_ << '\r' << '[' << label_ << "] " << current_;
+  if (total_ > 0) {
+    *out_ << '/' << total_ << " ("
+          << fixed(100.0 * static_cast<double>(current_) /
+                       static_cast<double>(total_),
+                   1)
+          << "%)";
+  }
+  if (final_line)
+    *out_ << " done in " << fixed(stopwatch_.elapsed_ms(), 1) << " ms\n";
+  out_->flush();
+}
+
+}  // namespace sntrust::obs

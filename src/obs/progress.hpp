@@ -1,0 +1,67 @@
+// Rate-limited progress reporting for long per-source sweeps (mixing
+// sources, 1000-source expansion envelopes, GateKeeper distributers).
+//
+// Off by default so library output stays clean and deterministic; enable for
+// a run with SNTRUST_PROGRESS=1 (stderr, carriage-return updates) or
+// per-meter via ProgressOptions::enabled (tests inject a stream and a zero
+// interval for deterministic emission counts).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace sntrust::obs {
+
+struct ProgressOptions {
+  /// Destination stream; nullptr means stderr.
+  std::ostream* out = nullptr;
+  /// Minimum wall-clock gap between emitted updates. The final done() line
+  /// is always emitted.
+  std::chrono::milliseconds min_interval{250};
+  /// Overrides the SNTRUST_PROGRESS env toggle when set.
+  std::optional<bool> enabled;
+};
+
+/// Tracks `current / total` work items and periodically rewrites one status
+/// line. Destruction emits the final line (equivalent to done()).
+class ProgressMeter {
+ public:
+  ProgressMeter(std::string label, std::uint64_t total,
+                ProgressOptions options = {});
+  ~ProgressMeter();
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Records `delta` finished items; emits a status line when at least
+  /// min_interval has elapsed since the previous emission.
+  void tick(std::uint64_t delta = 1);
+
+  /// Emits the final "done" line (once) with total elapsed time.
+  void done();
+
+  bool enabled() const { return enabled_; }
+  std::uint64_t current() const { return current_; }
+  /// Number of status lines written so far (tests pin rate-limiting).
+  std::uint64_t emissions() const { return emissions_; }
+
+ private:
+  void emit(bool final_line);
+
+  std::string label_;
+  std::uint64_t total_;
+  std::ostream* out_;
+  std::chrono::milliseconds min_interval_;
+  bool enabled_;
+  bool finished_ = false;
+  std::uint64_t current_ = 0;
+  std::uint64_t emissions_ = 0;
+  Stopwatch stopwatch_;
+  std::uint64_t last_emit_ns_ = 0;
+};
+
+}  // namespace sntrust::obs

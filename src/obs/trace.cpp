@@ -1,0 +1,237 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/env.hpp"
+#include "util/format.hpp"
+
+namespace sntrust::obs {
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  const std::string env_path = env_string("SNTRUST_TRACE", "");
+  if (!env_path.empty()) {
+    export_path_ = env_path;
+    enabled_.store(true, std::memory_order_relaxed);
+    std::atexit([] {
+      Tracer& tracer = Tracer::instance();
+      const std::string path = tracer.export_path();
+      if (!path.empty() && tracer.enabled())
+        tracer.write_chrome_trace_file(path);
+    });
+  }
+}
+
+Tracer& Tracer::instance() {
+  // Intentionally leaked: the SNTRUST_TRACE atexit hook (registered during
+  // construction, hence scheduled after a static's destructor) must find the
+  // tracer alive at process exit.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::enable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed) && events_.empty())
+    epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  open_stack_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::set_export_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  export_path_ = std::move(path);
+}
+
+std::string Tracer::export_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return export_path_;
+}
+
+std::uint64_t Tracer::now_ns_locked() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::int64_t Tracer::begin_span(std::string name, std::string category) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.depth = static_cast<std::uint32_t>(open_stack_.size());
+  event.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  event.start_ns = now_ns_locked();
+  const auto index = static_cast<std::int64_t>(events_.size());
+  events_.push_back(std::move(event));
+  open_stack_.push_back(index);
+  return index;
+}
+
+void Tracer::end_span(std::int64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (token < 0 || token >= static_cast<std::int64_t>(events_.size())) return;
+  TraceEvent& event = events_[static_cast<std::size_t>(token)];
+  event.duration_ns = now_ns_locked() - event.start_ns;
+  event.closed = true;
+  // Pop through the stack in case inner spans leaked (exception unwound past
+  // a reset); spans always close LIFO in normal operation.
+  while (!open_stack_.empty()) {
+    const std::int64_t top = open_stack_.back();
+    open_stack_.pop_back();
+    if (top == token) break;
+  }
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out = events_;
+  const std::uint64_t now = now_ns_locked();
+  for (TraceEvent& event : out)
+    if (!event.closed && now > event.start_ns)
+      event.duration_ns = now - event.start_ns;
+  return out;
+}
+
+double Tracer::coverage_fraction() const {
+  const std::vector<TraceEvent> snapshot = events();
+  if (snapshot.empty()) return 0.0;
+  std::uint64_t covered = 0;
+  std::uint64_t last_end = 0;
+  for (const TraceEvent& event : snapshot) {
+    const std::uint64_t end = event.start_ns + event.duration_ns;
+    last_end = std::max(last_end, end);
+    if (event.depth != 0) continue;
+    // Root spans never overlap (single stack), so summing is exact.
+    covered += event.duration_ns;
+  }
+  if (last_end == 0) return 0.0;
+  return static_cast<double>(covered) / static_cast<double>(last_end);
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> snapshot = events();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : snapshot) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":";
+    write_json_string(out, event.name);
+    out << ",\"cat\":";
+    write_json_string(out, event.category);
+    out << ",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":"
+        << event.start_ns / 1000 << ",\"dur\":" << event.duration_ns / 1000
+        << ",\"args\":{\"depth\":" << event.depth << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out)
+    throw std::runtime_error("Tracer: cannot open trace output " + path);
+  write_chrome_trace(out);
+  if (!out) throw std::runtime_error("Tracer: trace write failed " + path);
+}
+
+Table Tracer::timing_table() const {
+  const std::vector<TraceEvent> snapshot = events();
+  // Join each event's ancestor chain into a path; aggregate by path.
+  std::vector<std::string> paths(snapshot.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const TraceEvent& event = snapshot[i];
+    paths[i] = event.parent < 0
+                   ? event.name
+                   : paths[static_cast<std::size_t>(event.parent)] + "/" +
+                         event.name;
+  }
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::size_t first_seen = 0;
+  };
+  std::map<std::string, Agg> by_path;
+  std::uint64_t root_total = 0;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    Agg& agg = by_path[paths[i]];
+    if (agg.count == 0) agg.first_seen = i;
+    ++agg.count;
+    agg.total_ns += snapshot[i].duration_ns;
+    if (snapshot[i].depth == 0) root_total += snapshot[i].duration_ns;
+  }
+  // Present in first-seen order so the table reads like the run.
+  std::vector<const std::pair<const std::string, Agg>*> ordered;
+  ordered.reserve(by_path.size());
+  for (const auto& entry : by_path) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) {
+              return a->second.first_seen < b->second.first_seen;
+            });
+
+  Table table{{"span", "count", "total ms", "mean ms", "share"}};
+  for (const auto* entry : ordered) {
+    const Agg& agg = entry->second;
+    const double total_ms = agg.total_ns / 1e6;
+    const double share = root_total == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(agg.total_ns) /
+                                   static_cast<double>(root_total);
+    table.add_row({entry->first, std::to_string(agg.count),
+                   fixed(total_ms, 3),
+                   fixed(total_ms / static_cast<double>(agg.count), 3),
+                   fixed(share, 1) + "%"});
+  }
+  return table;
+}
+
+Span::Span(std::string name, std::string category) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  token_ = tracer.begin_span(std::move(name), std::move(category));
+}
+
+Span::~Span() {
+  if (token_ < 0) return;
+  Tracer::instance().end_span(token_);
+}
+
+}  // namespace sntrust::obs

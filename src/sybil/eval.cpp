@@ -5,9 +5,13 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sntrust {
 
 Ranking ranking_from_scores(const std::vector<double>& scores) {
+  obs::count("eval.rankings");
   Ranking order(scores.size());
   std::iota(order.begin(), order.end(), 0u);
   std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
@@ -18,6 +22,7 @@ Ranking ranking_from_scores(const std::vector<double>& scores) {
 
 double ranking_overlap(const Ranking& a, const Ranking& b,
                        std::uint32_t step) {
+  const obs::Span span{"eval.ranking_overlap", "sybil"};
   if (a.size() != b.size())
     throw std::invalid_argument("ranking_overlap: size mismatch");
   const std::size_t n = a.size();
@@ -46,6 +51,8 @@ double ranking_overlap(const Ranking& a, const Ranking& b,
 }
 
 double ranking_auc(const Ranking& ranking, const AttackedGraph& attacked) {
+  const obs::Span span{"eval.ranking_auc", "sybil"};
+  obs::count("eval.auc_evaluations");
   if (ranking.size() != attacked.graph().num_vertices())
     throw std::invalid_argument("ranking_auc: ranking size mismatch");
   const std::uint64_t honest = attacked.num_honest();

@@ -6,6 +6,9 @@
 
 #include "graph/traversal.hpp"
 #include "markov/walker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -25,6 +28,13 @@ TicketRun distribute_tickets(const Graph& g, VertexId source,
       levels.distances.size() != g.num_vertices())
     throw std::invalid_argument(
         "distribute_tickets: BFS result does not match source/graph");
+
+  static obs::Counter& ticket_runs =
+      obs::metrics_counter("gatekeeper.ticket_runs");
+  ticket_runs.add(1);
+  static obs::Counter& tickets_sent =
+      obs::metrics_counter("gatekeeper.tickets_sent");
+  tickets_sent.add(tickets);
 
   TicketRun run;
   run.distributer = source;
@@ -125,6 +135,8 @@ GateKeeperResult run_gatekeeper(const Graph& g, VertexId controller,
     for (VertexId x = g.num_vertices(); x > 1; x /= 2) ++walk_length;
   }
 
+  const obs::Span span{"gatekeeper.run", "sybil"};
+
   GateKeeperResult out;
   out.threshold = static_cast<std::uint32_t>(
       std::ceil(params.f_admit * params.num_distributers));
@@ -135,10 +147,13 @@ GateKeeperResult run_gatekeeper(const Graph& g, VertexId controller,
   for (std::uint32_t i = 0; i < params.num_distributers; ++i)
     out.distributers.push_back(walker.walk_endpoint(controller, walk_length));
 
+  obs::ProgressMeter progress{"gatekeeper distributers",
+                              params.num_distributers};
   for (const VertexId d : out.distributers) {
     const TicketRun run = adaptive_distribute(g, d, params.reach_fraction);
     for (VertexId v = 0; v < g.num_vertices(); ++v)
       if (run.reached[v]) ++out.admissions[v];
+    progress.tick();
   }
   return out;
 }
@@ -149,6 +164,7 @@ GateKeeperEvaluation evaluate_gatekeeper(const AttackedGraph& attacked,
   if (controller >= attacked.num_honest())
     throw std::invalid_argument(
         "evaluate_gatekeeper: controller must be honest");
+  const obs::Span span{"gatekeeper.evaluate", "sybil"};
   GateKeeperEvaluation eval;
   eval.result = run_gatekeeper(attacked.graph(), controller, params);
 

@@ -1,6 +1,7 @@
 #include "util/env.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 
 namespace sntrust {
@@ -21,6 +22,25 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   const long long value = std::strtoll(raw, &end, 10);
   if (end == raw) return fallback;
   return static_cast<std::int64_t>(value);
+}
+
+bool env_bool(const std::string& name, bool fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::string value{raw};
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (value == "1" || value == "true" || value == "yes" || value == "on")
+    return true;
+  if (value == "0" || value == "false" || value == "no" || value == "off")
+    return false;
+  return fallback;
+}
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::string{raw};
 }
 
 double bench_scale() {

@@ -17,6 +17,14 @@ double env_double(const std::string& name, double fallback);
 /// Returns the value of `name` parsed as a 64-bit integer, or `fallback`.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
+/// Returns the value of `name` parsed as a boolean, or `fallback` when the
+/// variable is unset, empty, or unrecognized. Accepts (case-insensitively)
+/// "1"/"true"/"yes"/"on" and "0"/"false"/"no"/"off".
+bool env_bool(const std::string& name, bool fallback);
+
+/// Returns the raw value of `name`, or `fallback` when unset or empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
 /// Global workload scale for benches: SNTRUST_SCALE (default 1.0, clamped to
 /// [0.01, 100]). Dataset analogue sizes are multiplied by this.
 double bench_scale();

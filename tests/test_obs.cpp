@@ -1,0 +1,305 @@
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sntrust::obs {
+namespace {
+
+// -------------------------------------------------------------- tracing ---
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().reset();
+    Tracer::instance().enable();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().reset();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansFormDeterministicTree) {
+  {
+    Span a{"outer"};
+    {
+      Span b{"child1"};
+      { Span c{"grandchild"}; }
+    }
+    { Span d{"child2", "custom"}; }
+  }
+  const std::vector<TraceEvent> events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 4u);
+
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[0].parent, -1);
+
+  EXPECT_EQ(events[1].name, "child1");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[1].parent, 0);
+
+  EXPECT_EQ(events[2].name, "grandchild");
+  EXPECT_EQ(events[2].depth, 2u);
+  EXPECT_EQ(events[2].parent, 1);
+
+  EXPECT_EQ(events[3].name, "child2");
+  EXPECT_EQ(events[3].depth, 1u);
+  EXPECT_EQ(events[3].parent, 0);
+  EXPECT_EQ(events[3].category, "custom");
+
+  for (const TraceEvent& event : events) EXPECT_TRUE(event.closed);
+  // Children nest inside the parent's time window.
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].duration_ns,
+            events[1].start_ns + events[1].duration_ns);
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::instance().disable();
+  { Span span{"invisible"}; }
+  EXPECT_TRUE(Tracer::instance().events().empty());
+}
+
+TEST_F(TraceTest, SequentialRootsStayRoots) {
+  { Span a{"first"}; }
+  { Span b{"second"}; }
+  const std::vector<TraceEvent> events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_EQ(events[1].parent, -1);
+}
+
+/// Minimal JSON well-formedness check: balanced braces/brackets outside
+/// strings, valid escapes, non-empty.
+void expect_valid_json(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '{');
+        stack.pop_back();
+        break;
+      case ']':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '[');
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_TRUE(stack.empty());
+  EXPECT_FALSE(text.empty());
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  {
+    Span a{"phase \"quoted\"\n"};  // exercises string escaping
+    Span b{"inner"};
+  }
+  std::ostringstream out;
+  Tracer::instance().write_chrome_trace(out);
+  const std::string json = out.str();
+  expect_valid_json(json);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, RootSpanDominatesCoverage) {
+  {
+    Span root{"almost everything"};
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(Tracer::instance().coverage_fraction(), 0.9);
+}
+
+TEST_F(TraceTest, TimingTableAggregatesByPath) {
+  for (int i = 0; i < 3; ++i) {
+    Span outer{"phase"};
+    Span inner{"step"};
+  }
+  const Table table = Tracer::instance().timing_table();
+  EXPECT_EQ(table.num_rows(), 2u);  // "phase" and "phase/step"
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("phase,3"), std::string::npos);
+  EXPECT_NE(csv.str().find("phase/step,3"), std::string::npos);
+}
+
+// -------------------------------------------------------------- metrics ---
+
+TEST(Metrics, CounterAccumulatesAndSnapshots) {
+  Metrics::instance().reset();
+  Counter& c = Metrics::instance().counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  const MetricsSnapshot snap = Metrics::instance().snapshot();
+  ASSERT_TRUE(snap.counters.count("test.counter"));
+  EXPECT_EQ(snap.counters.at("test.counter"), 42u);
+}
+
+TEST(Metrics, CounterReferenceStableAcrossReset) {
+  Counter& before = Metrics::instance().counter("test.stable");
+  before.add(7);
+  Metrics::instance().reset();
+  EXPECT_EQ(before.value(), 0u);
+  Counter& after = Metrics::instance().counter("test.stable");
+  EXPECT_EQ(&before, &after);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  Metrics::instance().reset();
+  set_gauge("test.gauge", 1.5);
+  set_gauge("test.gauge", -3.25);
+  EXPECT_DOUBLE_EQ(Metrics::instance().snapshot().gauges.at("test.gauge"),
+                   -3.25);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(0.5), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 1u);  // [1, 2)
+  EXPECT_EQ(Histogram::bucket_index(1.9), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 2u);  // [2, 4)
+  EXPECT_EQ(Histogram::bucket_index(3.0), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 3u);  // [4, 8)
+  EXPECT_EQ(Histogram::bucket_index(1e300), kHistogramBuckets - 1);
+}
+
+TEST(Metrics, HistogramSnapshotIsCorrect) {
+  Metrics::instance().reset();
+  Histogram& h = Metrics::instance().histogram("test.histogram");
+  for (const double v : {1.0, 3.0, 3.0, 10.0}) h.observe(v);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 17.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 10.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 4.25);
+  ASSERT_EQ(snap.buckets.size(), kHistogramBuckets);
+  EXPECT_EQ(snap.buckets[1], 1u);  // 1.0
+  EXPECT_EQ(snap.buckets[2], 2u);  // 3.0 x2
+  EXPECT_EQ(snap.buckets[4], 1u);  // 10.0 in [8, 16)
+}
+
+TEST(Metrics, ToTableListsEveryKind) {
+  Metrics::instance().reset();
+  count("test.table.counter", 5);
+  set_gauge("test.table.gauge", 0.5);
+  observe("test.table.histogram", 2.0);
+  const Table table = Metrics::instance().to_table();
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("counter,test.table.counter,5"), std::string::npos);
+  EXPECT_NE(csv.str().find("gauge,test.table.gauge"), std::string::npos);
+  EXPECT_NE(csv.str().find("histogram,test.table.histogram"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- progress ---
+
+TEST(Progress, DisabledMeterWritesNothing) {
+  std::ostringstream out;
+  ProgressOptions options;
+  options.out = &out;
+  options.enabled = false;
+  ProgressMeter meter{"quiet", 10, options};
+  for (int i = 0; i < 10; ++i) meter.tick();
+  meter.done();
+  EXPECT_EQ(meter.emissions(), 0u);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Progress, ZeroIntervalEmitsEveryTick) {
+  std::ostringstream out;
+  ProgressOptions options;
+  options.out = &out;
+  options.enabled = true;
+  options.min_interval = std::chrono::milliseconds{0};
+  ProgressMeter meter{"busy", 5, options};
+  for (int i = 0; i < 5; ++i) meter.tick();
+  meter.done();
+  EXPECT_EQ(meter.emissions(), 6u);  // 5 ticks + final line
+  EXPECT_NE(out.str().find("[busy] 5/5 (100.0%)"), std::string::npos);
+  EXPECT_NE(out.str().find("done in"), std::string::npos);
+}
+
+TEST(Progress, LargeIntervalRateLimitsToFinalLine) {
+  std::ostringstream out;
+  ProgressOptions options;
+  options.out = &out;
+  options.enabled = true;
+  options.min_interval = std::chrono::hours{1};
+  ProgressMeter meter{"slow", 1000, options};
+  for (int i = 0; i < 1000; ++i) meter.tick();
+  EXPECT_EQ(meter.emissions(), 0u);
+  meter.done();
+  EXPECT_EQ(meter.emissions(), 1u);
+  EXPECT_EQ(meter.current(), 1000u);
+}
+
+TEST(Progress, DestructorEmitsFinalLineOnce) {
+  std::ostringstream out;
+  {
+    ProgressOptions options;
+    options.out = &out;
+    options.enabled = true;
+    options.min_interval = std::chrono::hours{1};
+    ProgressMeter meter{"scoped", 3, options};
+    meter.tick(3);
+    meter.done();
+    // Destructor must not emit a second final line.
+  }
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (std::size_t at = text.find("done in"); at != std::string::npos;
+       at = text.find("done in", at + 1))
+    ++lines;
+  EXPECT_EQ(lines, 1u);
+}
+
+TEST(Progress, EnvToggleControlsDefault) {
+  setenv("SNTRUST_PROGRESS", "1", 1);
+  std::ostringstream out;
+  ProgressOptions options;
+  options.out = &out;
+  {
+    ProgressMeter meter{"env-on", 1, options};
+    EXPECT_TRUE(meter.enabled());
+  }
+  unsetenv("SNTRUST_PROGRESS");
+  {
+    ProgressMeter meter{"env-off", 1, options};
+    EXPECT_FALSE(meter.enabled());
+  }
+}
+
+}  // namespace
+}  // namespace sntrust::obs

@@ -5,21 +5,32 @@
 //       Writes a synthetic analogue as a SNAP-format edge list.
 //   sntrust_cli measure <edgelist.txt> [sources]
 //       Loads an edge list (largest component) and prints the full
-//       property report (mixing, cores, expansion).
+//       property report (mixing, cores, expansion) plus per-phase
+//       wall-clock timings.
 //   sntrust_cli attack <edgelist.txt> <sybils> <attack_edges>
 //       Attaches a Sybil region and reports GateKeeper / SybilLimit /
 //       SumUp outcomes.
 //   sntrust_cli datasets
 //       Lists the registered Table-I analogues.
+//
+// Global flags:
+//   --trace <out.json>   Record a hierarchical trace of the run and write
+//                        it as Chrome trace_event JSON (chrome://tracing /
+//                        Perfetto). SNTRUST_TRACE=<path> does the same for
+//                        any binary in the repo.
+// Progress lines for long sweeps appear on stderr with SNTRUST_PROGRESS=1.
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/property_suite.hpp"
 #include "gen/datasets.hpp"
 #include "graph/components.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
+#include "obs/trace.hpp"
+#include "report/csv_sink.hpp"
 #include "report/table.hpp"
 #include "sybil/gatekeeper.hpp"
 #include "sybil/sumup.hpp"
@@ -35,7 +46,10 @@ int usage() {
                "  sntrust_cli datasets\n"
                "  sntrust_cli generate <dataset_id> <scale> <out.txt>\n"
                "  sntrust_cli measure <edgelist.txt> [mixing_sources]\n"
-               "  sntrust_cli attack <edgelist.txt> <sybils> <attack_edges>\n";
+               "  sntrust_cli attack <edgelist.txt> <sybils> <attack_edges>\n"
+               "flags:\n"
+               "  --trace <out.json>   write a Chrome trace-event JSON of "
+               "the run\n";
   return 2;
 }
 
@@ -59,7 +73,17 @@ int cmd_generate(const std::string& id, double scale,
 }
 
 int cmd_measure(const std::string& path, std::uint32_t sources) {
-  const Graph raw = read_edge_list_file(path);
+  // Per-phase timings are part of the measure report, so tracing is always
+  // on for this command; --trace / SNTRUST_TRACE additionally export the
+  // full span tree as JSON.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable();
+  const obs::Span root{"cli.measure", "cli"};
+
+  const Graph raw = [&] {
+    const obs::Span span{"load", "cli"};
+    return read_edge_list_file(path);
+  }();
   const Graph g = largest_component(raw).graph;
   std::cout << "loaded " << path << ": n=" << with_thousands(g.num_vertices())
             << " m=" << with_thousands(g.num_edges())
@@ -93,6 +117,13 @@ int cmd_measure(const std::string& path, std::uint32_t sources) {
   table.add_row({"min expansion factor",
                  fixed(report.min_expansion_factor, 4)});
   table.print(std::cout);
+
+  // Timing section: where the run's wall-clock went, phase by phase. Also
+  // lands in $SNTRUST_CSV_DIR/measure_timings.csv when that sink is set.
+  const Table timings = tracer.timing_table();
+  std::cout << "timings (wall-clock per span)\n";
+  timings.print(std::cout);
+  maybe_write_csv(timings, "measure_timings");
   return 0;
 }
 
@@ -145,21 +176,48 @@ int cmd_attack(const std::string& path, VertexId sybils,
 
 int main(int argc, char** argv) {
   try {
-    if (argc < 2) return usage();
-    const std::string command = argv[1];
-    if (command == "datasets") return cmd_datasets();
-    if (command == "generate" && argc == 5)
-      return cmd_generate(argv[2], std::atof(argv[3]), argv[4]);
-    if (command == "measure" && (argc == 3 || argc == 4))
-      return cmd_measure(argv[2],
-                         argc == 4 ? static_cast<std::uint32_t>(
-                                         std::atoi(argv[3]))
-                                   : 20);
-    if (command == "attack" && argc == 5)
-      return cmd_attack(argv[2],
-                        static_cast<sntrust::VertexId>(std::atoi(argv[3])),
-                        static_cast<std::uint32_t>(std::atoi(argv[4])));
-    return usage();
+    // Peel the global --trace flag off before dispatching.
+    std::vector<std::string> args;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace") {
+        if (i + 1 >= argc) return usage();
+        trace_path = argv[++i];
+        continue;
+      }
+      args.push_back(arg);
+    }
+    if (!trace_path.empty()) obs::Tracer::instance().enable();
+
+    int status = 2;
+    if (args.empty()) {
+      status = usage();
+    } else {
+      const std::string& command = args[0];
+      const std::size_t n = args.size();
+      if (command == "datasets" && n == 1)
+        status = cmd_datasets();
+      else if (command == "generate" && n == 4)
+        status = cmd_generate(args[1], std::atof(args[2].c_str()), args[3]);
+      else if (command == "measure" && (n == 2 || n == 3))
+        status = cmd_measure(
+            args[1], n == 3 ? static_cast<std::uint32_t>(
+                                  std::atoi(args[2].c_str()))
+                            : 20);
+      else if (command == "attack" && n == 4)
+        status = cmd_attack(
+            args[1], static_cast<sntrust::VertexId>(std::atoi(args[2].c_str())),
+            static_cast<std::uint32_t>(std::atoi(args[3].c_str())));
+      else
+        status = usage();
+    }
+
+    if (!trace_path.empty()) {
+      obs::Tracer::instance().write_chrome_trace_file(trace_path);
+      std::cerr << "trace written to " << trace_path << "\n";
+    }
+    return status;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
