@@ -7,7 +7,9 @@
 #include "cores/kcore.hpp"
 #include "graph/components.hpp"
 #include "graph/stats.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace sntrust {
 
@@ -19,6 +21,10 @@ PropertyReport measure_properties(const Graph& g,
     throw std::invalid_argument("measure_properties: graph must be connected");
 
   const obs::Span suite_span{"measure_properties"};
+  // Pin the sweep parallelism for the whole suite; restored on return.
+  const parallel::ScopedThreadCount thread_scope{
+      options.threads != 0 ? options.threads : parallel::thread_count()};
+  obs::set_gauge("suite.threads", parallel::thread_count());
 
   PropertyReport report;
   report.nodes = g.num_vertices();

@@ -28,6 +28,10 @@ struct PropertySuiteOptions {
   /// paper's epsilon = 1/n (Theta(1/n)).
   double epsilon = 0.0;
   std::uint64_t seed = 1;
+  /// Worker threads for the per-source sweeps (mixing, expansion) and the
+  /// spectral matvecs. 0 inherits the process default (SNTRUST_THREADS /
+  /// hardware_concurrency); results are identical for any value.
+  std::uint32_t threads = 0;
 };
 
 /// Everything the paper measures about one graph.

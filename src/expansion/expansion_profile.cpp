@@ -1,13 +1,16 @@
 #include "expansion/expansion_profile.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/components.hpp"
 #include "graph/traversal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -38,45 +41,78 @@ ExpansionProfile measure_expansion(const Graph& g,
     sources = rng.sample_without_replacement(n, options.num_sources);
   }
 
+  // The neighbour-count sum stays integral (level sizes are counts), so the
+  // per-worker partial accumulators merge bitwise identically in any order
+  // and the final mean is thread-count invariant.
   struct Accumulator {
     std::uint64_t min = 0;
     std::uint64_t max = 0;
-    double sum = 0.0;
+    std::uint64_t sum = 0;
     std::uint64_t count = 0;
   };
-  std::map<std::uint64_t, Accumulator> by_size;
 
   const obs::Span span{"measure_expansion", "expansion"};
-  static obs::Counter& bfs_runs = obs::metrics_counter("expansion.bfs_runs");
-  static obs::Histogram& frontier =
+  // Local (non-static) metric handles: no hidden init-order coupling when
+  // the sweep's first use races across workers.
+  obs::Counter& bfs_runs = obs::metrics_counter("expansion.bfs_runs");
+  obs::Histogram& frontier =
       obs::metrics_histogram("expansion.bfs_frontier");
 
-  ExpansionProfile out;
-  BfsRunner runner{g};
   obs::ProgressMeter progress{"expansion sources",
                               static_cast<std::uint64_t>(sources.size())};
-  for (const VertexId source : sources) {
-    const BfsResult& result = runner.run(source);
+
+  // Per-worker state: a reusable BFS runner plus a private envelope
+  // accumulator map, merged in worker order after the sweep.
+  struct WorkerState {
+    std::vector<BfsRunner> runner;  // 0 or 1 entries; lazily constructed
+    std::map<std::uint64_t, Accumulator> by_size;
+    std::uint32_t max_depth = 0;
+  };
+  const std::uint32_t workers = parallel::plan_workers(sources.size());
+  std::vector<WorkerState> states(workers);
+
+  parallel::parallel_for(0, sources.size(), [&](std::size_t i,
+                                                std::uint32_t worker) {
+    WorkerState& state = states[worker];
+    if (state.runner.empty()) state.runner.emplace_back(g);
+    const BfsResult& result = state.runner.front().run(sources[i]);
     bfs_runs.add(1);
     progress.tick();
     const auto& levels = result.level_sizes;
     for (const std::uint64_t level_size : levels)
       frontier.observe(static_cast<double>(level_size));
-    out.max_depth = std::max(
-        out.max_depth, static_cast<std::uint32_t>(levels.size() - 1));
+    state.max_depth = std::max(
+        state.max_depth, static_cast<std::uint32_t>(levels.size() - 1));
     std::uint64_t envelope = 0;
-    for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
-      envelope += levels[i];
-      const std::uint64_t neighbors = levels[i + 1];
-      Accumulator& acc = by_size[envelope];
+    for (std::size_t j = 0; j + 1 < levels.size(); ++j) {
+      envelope += levels[j];
+      const std::uint64_t neighbors = levels[j + 1];
+      Accumulator& acc = state.by_size[envelope];
       if (acc.count == 0) {
         acc.min = acc.max = neighbors;
       } else {
         acc.min = std::min(acc.min, neighbors);
         acc.max = std::max(acc.max, neighbors);
       }
-      acc.sum += static_cast<double>(neighbors);
+      acc.sum += neighbors;
       ++acc.count;
+    }
+  });
+
+  ExpansionProfile out;
+  std::map<std::uint64_t, Accumulator> by_size;
+  for (const WorkerState& state : states) {
+    out.max_depth = std::max(out.max_depth, state.max_depth);
+    for (const auto& [size, partial] : state.by_size) {
+      Accumulator& acc = by_size[size];
+      if (acc.count == 0) {
+        acc = partial;
+      } else {
+        acc.min = std::min(acc.min, partial.min);
+        acc.max = std::max(acc.max, partial.max);
+        acc.sum += partial.sum;
+        acc.count += partial.count;
+      }
     }
   }
 
@@ -87,7 +123,8 @@ ExpansionProfile measure_expansion(const Graph& g,
     point.set_size = size;
     point.min_neighbors = acc.min;
     point.max_neighbors = acc.max;
-    point.mean_neighbors = acc.sum / static_cast<double>(acc.count);
+    point.mean_neighbors =
+        static_cast<double>(acc.sum) / static_cast<double>(acc.count);
     point.observations = acc.count;
     out.points.push_back(point);
   }

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel.hpp"
 
 namespace sntrust {
 
@@ -24,9 +25,16 @@ DenseSpectrum dense_spectrum(const Graph& g, std::uint32_t max_sweeps) {
     if (g.degree(v) > 0)
       inv_sqrt_deg[v] = 1.0 / std::sqrt(static_cast<double>(g.degree(v)));
   std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
-  for (VertexId v = 0; v < n; ++v)
-    for (const VertexId w : g.neighbors(v))
-      a[v][w] = inv_sqrt_deg[v] * inv_sqrt_deg[w];
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t v, std::uint32_t) {
+        for (const VertexId w : g.neighbors(v))
+          a[v][w] = inv_sqrt_deg[v] * inv_sqrt_deg[w];
+      },
+      /*grain=*/16);
+  // The Jacobi rotations themselves stay serial: each (p, q) rotation
+  // mutates two full rows and columns, and with the n <= 256 cap the
+  // per-rotation ranges are far below any profitable fan-out grain.
 
   // Eigenvector accumulator starts as identity.
   std::vector<std::vector<double>> vectors(n, std::vector<double>(n, 0.0));
@@ -110,18 +118,28 @@ Distribution exact_walk_distribution(const Graph& g,
     inv_sqrt_deg[v] = 1.0 / sqrt_deg[v];
   }
 
+  std::vector<double> scales(n);
+  for (std::size_t k = 0; k < spectrum.eigenvalues.size(); ++k)
+    scales[k] = std::pow(spectrum.eigenvalues[k],
+                         static_cast<double>(steps)) *
+                spectrum.eigenvectors[k][source] * inv_sqrt_deg[source];
+
+  // Row-partitioned dense matvec: entry j sums the spectral components in k
+  // order (the same order as the former k-outer loop, so values are bitwise
+  // unchanged), and rows are independent across workers.
   Distribution p(n, 0.0);
-  for (std::size_t k = 0; k < spectrum.eigenvalues.size(); ++k) {
-    const double scale = std::pow(spectrum.eigenvalues[k],
-                                  static_cast<double>(steps)) *
-                         spectrum.eigenvectors[k][source] *
-                         inv_sqrt_deg[source];
-    if (scale == 0.0) continue;
-    const auto& u = spectrum.eigenvectors[k];
-    for (VertexId j = 0; j < n; ++j) p[j] += scale * u[j] * sqrt_deg[j];
-  }
-  // Clamp tiny negative round-off.
-  for (double& value : p) value = std::max(0.0, value);
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t j, std::uint32_t) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < spectrum.eigenvalues.size(); ++k) {
+          if (scales[k] == 0.0) continue;
+          acc += scales[k] * spectrum.eigenvectors[k][j] * sqrt_deg[j];
+        }
+        // Clamp tiny negative round-off.
+        p[j] = std::max(0.0, acc);
+      },
+      /*grain=*/64);
   return p;
 }
 

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -48,23 +49,31 @@ MixingCurves measure_mixing(const Graph& g, const MixingOptions& options) {
   out.sources = rng.sample_without_replacement(n, k);
 
   const Distribution pi = stationary_distribution(g);
-  Distribution p, buffer(n);
-  out.tvd.reserve(k);
+  // One curve slot per source position: workers write disjoint slots, so
+  // the result is bitwise identical for any thread count.
+  out.tvd.assign(k, {});
   obs::ProgressMeter progress{"mixing sources", k};
-  for (const VertexId source : out.sources) {
-    p = dirac(n, source);
+  struct Scratch {
+    Distribution p, buffer;
+  };
+  std::vector<Scratch> scratch(parallel::plan_workers(k));
+  parallel::parallel_for(0, k, [&](std::size_t i, std::uint32_t worker) {
+    Scratch& s = scratch[worker];
+    s.p.assign(n, 0.0);
+    s.p[out.sources[i]] = 1.0;
+    if (s.buffer.size() != n) s.buffer.assign(n, 0.0);
     std::vector<double> curve;
     curve.reserve(options.max_walk_length + 1);
-    curve.push_back(total_variation(p, pi));
+    curve.push_back(total_variation(s.p, pi));
     for (std::uint32_t t = 1; t <= options.max_walk_length; ++t) {
-      if (options.lazy) step_distribution_lazy(g, p, buffer);
-      else step_distribution(g, p, buffer);
-      p.swap(buffer);
-      curve.push_back(total_variation(p, pi));
+      if (options.lazy) step_distribution_lazy(g, s.p, s.buffer);
+      else step_distribution(g, s.p, s.buffer);
+      s.p.swap(s.buffer);
+      curve.push_back(total_variation(s.p, pi));
     }
-    out.tvd.push_back(std::move(curve));
+    out.tvd[i] = std::move(curve);
     progress.tick();
-  }
+  });
   obs::count("mixing.sources", k);
   obs::count("mixing.distribution_steps",
              static_cast<std::uint64_t>(k) * options.max_walk_length);
@@ -91,26 +100,37 @@ MixingCurves measure_mixing_monte_carlo(const Graph& g,
   out.sources = rng.sample_without_replacement(n, k);
   const Distribution pi = stationary_distribution(g);
 
-  RandomWalker walker{g, rng()};
-  std::vector<std::uint32_t> counts(n);
-  Distribution empirical(n);
-  out.tvd.reserve(k);
+  // Each source gets a walk batch with its own Rng stream derived from the
+  // source *position*, so curves depend only on (seed, i) — never on which
+  // worker ran the batch or in what order.
+  const std::uint64_t walker_base = rng();
+  out.tvd.assign(k, {});
   const obs::Span span{"measure_mixing_monte_carlo", "markov"};
   obs::ProgressMeter progress{"monte-carlo mixing sources", k};
-  for (const VertexId source : out.sources) {
+  struct Scratch {
+    std::vector<std::uint32_t> counts;
+    Distribution empirical;
+  };
+  std::vector<Scratch> scratch(parallel::plan_workers(k));
+  parallel::parallel_for(0, k, [&](std::size_t i, std::uint32_t worker) {
+    Scratch& s = scratch[worker];
+    s.counts.assign(n, 0u);
+    if (s.empirical.size() != n) s.empirical.assign(n, 0.0);
+    RandomWalker walker{g, stream_seed(walker_base, i)};
+    const VertexId source = out.sources[i];
     std::vector<double> curve;
     curve.reserve(options.max_walk_length + 1);
     for (std::uint32_t t = 0; t <= options.max_walk_length; ++t) {
-      std::fill(counts.begin(), counts.end(), 0u);
+      std::fill(s.counts.begin(), s.counts.end(), 0u);
       for (std::uint32_t w = 0; w < walks_per_point; ++w)
-        ++counts[walker.walk_endpoint(source, t)];
+        ++s.counts[walker.walk_endpoint(source, t)];
       for (VertexId v = 0; v < n; ++v)
-        empirical[v] = static_cast<double>(counts[v]) / walks_per_point;
-      curve.push_back(total_variation(empirical, pi));
+        s.empirical[v] = static_cast<double>(s.counts[v]) / walks_per_point;
+      curve.push_back(total_variation(s.empirical, pi));
     }
-    out.tvd.push_back(std::move(curve));
+    out.tvd[i] = std::move(curve);
     progress.tick();
-  }
+  });
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "graph/components.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -14,6 +15,8 @@ namespace sntrust {
 namespace {
 
 /// y = N x where N = D^{-1/2} A D^{-1/2} (symmetric, same spectrum as P).
+/// Row-partitioned gather over the pool: each output row sums its
+/// neighbours' contributions in adjacency order, independent of chunking.
 void apply_normalized_adjacency(const Graph& g,
                                 const std::vector<double>& inv_sqrt_deg,
                                 const std::vector<double>& x,
@@ -21,13 +24,16 @@ void apply_normalized_adjacency(const Graph& g,
   const auto& offsets = g.offsets();
   const auto& targets = g.targets();
   const VertexId n = g.num_vertices();
-  y.assign(n, 0.0);
-  for (VertexId v = 0; v < n; ++v) {
-    const double xv = x[v] * inv_sqrt_deg[v];
-    if (xv == 0.0) continue;
-    for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i)
-      y[targets[i]] += xv * inv_sqrt_deg[targets[i]];
-  }
+  y.resize(n);
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t v, std::uint32_t) {
+        double acc = 0.0;
+        for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i)
+          acc += x[targets[i]] * inv_sqrt_deg[targets[i]];
+        y[v] = acc * inv_sqrt_deg[v];
+      },
+      /*grain=*/2048);
 }
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {

@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "parallel/parallel.hpp"
+
 namespace sntrust {
+
+namespace {
+
+/// Rows per worker chunk for the O(m) matvecs: row work is a short gather,
+/// so only large graphs benefit from fanning out.
+constexpr std::size_t kMatvecGrain = 2048;
+
+}  // namespace
 
 void step_distribution(const Graph& g, const Distribution& p,
                        Distribution& out) {
@@ -11,16 +21,24 @@ void step_distribution(const Graph& g, const Distribution& p,
     throw std::invalid_argument("step_distribution: size mismatch");
   if (&p == &out)
     throw std::invalid_argument("step_distribution: out must not alias p");
-  out.assign(n, 0.0);
+  out.resize(n);
   const auto& offsets = g.offsets();
   const auto& targets = g.targets();
-  for (VertexId v = 0; v < n; ++v) {
-    const EdgeIndex begin = offsets[v];
-    const EdgeIndex end = offsets[v + 1];
-    if (begin == end || p[v] == 0.0) continue;
-    const double share = p[v] / static_cast<double>(end - begin);
-    for (EdgeIndex i = begin; i < end; ++i) out[targets[i]] += share;
-  }
+  // Row-partitioned gather: out[v] sums the shares arriving from v's
+  // neighbours in adjacency order, so each row is independent (safe to
+  // parallelize) and the result does not depend on the chunking.
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t v, std::uint32_t) {
+        double acc = 0.0;
+        for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i) {
+          const VertexId w = targets[i];
+          if (p[w] == 0.0) continue;
+          acc += p[w] / static_cast<double>(offsets[w + 1] - offsets[w]);
+        }
+        out[v] = acc;
+      },
+      kMatvecGrain);
 }
 
 void step_distribution_lazy(const Graph& g, const Distribution& p,

@@ -8,6 +8,11 @@
 
 namespace sntrust {
 
+RandomWalker::RandomWalker(const Graph& g, std::uint64_t seed)
+    : graph_(g),
+      rng_(seed),
+      walk_steps_(&obs::metrics_counter("walk.steps")) {}
+
 std::vector<VertexId> RandomWalker::walk(VertexId start, std::uint32_t length) {
   if (start >= graph_.num_vertices())
     throw std::out_of_range("RandomWalker::walk: start out of range");
@@ -22,8 +27,7 @@ std::vector<VertexId> RandomWalker::walk(VertexId start, std::uint32_t length) {
     at = nbrs[rng_.uniform(nbrs.size())];
     trail.push_back(at);
   }
-  static obs::Counter& walk_steps = obs::metrics_counter("walk.steps");
-  walk_steps.add(length);
+  walk_steps_->add(length);
   return trail;
 }
 
@@ -38,8 +42,7 @@ VertexId RandomWalker::walk_endpoint(VertexId start, std::uint32_t length) {
     const auto nbrs = graph_.neighbors(at);
     at = nbrs[rng_.uniform(nbrs.size())];
   }
-  static obs::Counter& walk_steps = obs::metrics_counter("walk.steps");
-  walk_steps.add(length);
+  walk_steps_->add(length);
   return at;
 }
 

@@ -12,12 +12,18 @@
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
+namespace sntrust::obs {
+class Counter;
+}
+
 namespace sntrust {
 
-/// Simple random walk sampler.
+/// Simple random walk sampler. Instances are cheap to construct (parallel
+/// sweeps build one per work item for deterministic per-index streams) but
+/// not shareable across threads: walks mutate the internal Rng.
 class RandomWalker {
  public:
-  RandomWalker(const Graph& g, std::uint64_t seed) : graph_(g), rng_(seed) {}
+  RandomWalker(const Graph& g, std::uint64_t seed);
 
   /// Walks `length` steps from `start`; returns the full vertex sequence
   /// (length + 1 entries). Throws std::invalid_argument if start is isolated.
@@ -29,6 +35,10 @@ class RandomWalker {
  private:
   const Graph& graph_;
   Rng rng_;
+  /// Member metric handle (not a function-local static): walkers run on
+  /// pool workers, so the registry lookup happens once per instance on the
+  /// constructing thread instead of racing on first-use initialization.
+  obs::Counter* walk_steps_;
 };
 
 /// Random-route tables: for each vertex, a uniform random permutation mapping

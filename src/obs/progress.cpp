@@ -20,32 +20,40 @@ ProgressMeter::ProgressMeter(std::string label, std::uint64_t total,
 ProgressMeter::~ProgressMeter() { done(); }
 
 void ProgressMeter::tick(std::uint64_t delta) {
-  current_ += delta;
-  if (!enabled_ || finished_) return;
+  current_.fetch_add(delta, std::memory_order_relaxed);
+  if (!enabled_ || finished_.load(std::memory_order_relaxed)) return;
   const std::uint64_t now = stopwatch_.elapsed_ns();
   const auto interval_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(min_interval_)
           .count());
-  if (now - last_emit_ns_ < interval_ns) return;
-  last_emit_ns_ = now;
+  std::uint64_t last = last_emit_ns_.load(std::memory_order_relaxed);
+  if (now - last < interval_ns) return;
+  // Claim this emission slot; losers (concurrent workers racing on the same
+  // interval boundary) skip — the next interval will pick their count up.
+  if (!last_emit_ns_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed))
+    return;
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  if (finished_.load(std::memory_order_relaxed)) return;
   emit(false);
 }
 
 void ProgressMeter::done() {
-  if (!enabled_ || finished_) {
-    finished_ = true;
-    return;
-  }
-  finished_ = true;
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  if (finished_.exchange(true, std::memory_order_relaxed)) return;
+  if (!enabled_) return;
   emit(true);
 }
 
 void ProgressMeter::emit(bool final_line) {
-  ++emissions_;
-  *out_ << '\r' << '[' << label_ << "] " << current_;
+  emissions_.fetch_add(1, std::memory_order_relaxed);
+  *out_ << '\r' << '[' << label_ << "] "
+        << current_.load(std::memory_order_relaxed);
   if (total_ > 0) {
     *out_ << '/' << total_ << " ("
-          << fixed(100.0 * static_cast<double>(current_) /
+          << fixed(100.0 *
+                       static_cast<double>(
+                           current_.load(std::memory_order_relaxed)) /
                        static_cast<double>(total_),
                    1)
           << "%)";

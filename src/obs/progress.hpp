@@ -5,11 +5,18 @@
 // a run with SNTRUST_PROGRESS=1 (stderr, carriage-return updates) or
 // per-meter via ProgressOptions::enabled (tests inject a stream and a zero
 // interval for deterministic emission counts).
+//
+// tick() is safe to call concurrently from thread-pool workers: the item
+// count is a relaxed atomic, the rate limiter claims emission slots with a
+// compare-exchange, and the actual stream write is mutex-serialized.
+// Construction and done() belong to the owning (submitting) thread.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -38,16 +45,21 @@ class ProgressMeter {
   ProgressMeter& operator=(const ProgressMeter&) = delete;
 
   /// Records `delta` finished items; emits a status line when at least
-  /// min_interval has elapsed since the previous emission.
+  /// min_interval has elapsed since the previous emission. Callable from
+  /// any thread.
   void tick(std::uint64_t delta = 1);
 
   /// Emits the final "done" line (once) with total elapsed time.
   void done();
 
   bool enabled() const { return enabled_; }
-  std::uint64_t current() const { return current_; }
+  std::uint64_t current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
   /// Number of status lines written so far (tests pin rate-limiting).
-  std::uint64_t emissions() const { return emissions_; }
+  std::uint64_t emissions() const {
+    return emissions_.load(std::memory_order_relaxed);
+  }
 
  private:
   void emit(bool final_line);
@@ -57,11 +69,12 @@ class ProgressMeter {
   std::ostream* out_;
   std::chrono::milliseconds min_interval_;
   bool enabled_;
-  bool finished_ = false;
-  std::uint64_t current_ = 0;
-  std::uint64_t emissions_ = 0;
+  std::atomic<bool> finished_{false};
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> emissions_{0};
   Stopwatch stopwatch_;
-  std::uint64_t last_emit_ns_ = 0;
+  std::atomic<std::uint64_t> last_emit_ns_{0};
+  std::mutex emit_mutex_;  ///< serializes status-line writes
 };
 
 }  // namespace sntrust::obs

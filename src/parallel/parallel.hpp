@@ -1,0 +1,65 @@
+// Deterministic parallel loop primitives over the process-wide thread pool.
+//
+//   parallel_for(0, n, [&](std::size_t i, std::uint32_t worker) { ... });
+//   sum = parallel_map_reduce<T>(0, n, init, map, reduce);
+//
+// `worker` is the static chunk slot in [0, plan_workers(n, grain)); use it
+// to index per-worker scratch buffers (each slot is executed by exactly one
+// thread). See thread_pool.hpp for the determinism rules; in short, write
+// results into slots indexed by `i`, seed per-item RNGs with
+// stream_seed(base, i), and merge per-worker state in ascending worker
+// order with exactly associative operations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace sntrust::parallel {
+
+/// Runs body(i, worker) for every i in [begin, end), statically chunked
+/// over the pool. `grain` is the minimum number of items per worker: raise
+/// it for cheap bodies (e.g. matvec rows) so tiny ranges stay inline.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = 1) {
+  run_chunks(
+      begin, end,
+      [&body](std::size_t chunk_begin, std::size_t chunk_end,
+              std::uint32_t worker) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i, worker);
+      },
+      grain);
+}
+
+/// Folds map(i) over [begin, end): each worker reduces its chunk into a
+/// private accumulator seeded with `init`, then the per-worker partials are
+/// reduced in ascending worker order. Bitwise thread-count invariance
+/// requires `reduce` to be exactly associative (integer sums, min/max, ...).
+template <typename T, typename Map, typename Reduce>
+T parallel_map_reduce(std::size_t begin, std::size_t end, T init, Map&& map,
+                      Reduce&& reduce, std::size_t grain = 1) {
+  if (begin >= end) return init;
+  const std::uint32_t workers =
+      in_parallel_region() ? 1 : plan_workers(end - begin, grain);
+  std::vector<T> partials(workers, init);
+  run_chunks(
+      begin, end,
+      [&](std::size_t chunk_begin, std::size_t chunk_end,
+          std::uint32_t worker) {
+        T acc = partials[worker];
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i)
+          acc = reduce(std::move(acc), map(i));
+        partials[worker] = std::move(acc);
+      },
+      grain);
+  T result = std::move(partials[0]);
+  for (std::uint32_t w = 1; w < workers; ++w)
+    result = reduce(std::move(result), std::move(partials[w]));
+  return result;
+}
+
+}  // namespace sntrust::parallel

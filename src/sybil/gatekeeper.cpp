@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -29,12 +30,10 @@ TicketRun distribute_tickets(const Graph& g, VertexId source,
     throw std::invalid_argument(
         "distribute_tickets: BFS result does not match source/graph");
 
-  static obs::Counter& ticket_runs =
-      obs::metrics_counter("gatekeeper.ticket_runs");
-  ticket_runs.add(1);
-  static obs::Counter& tickets_sent =
-      obs::metrics_counter("gatekeeper.tickets_sent");
-  tickets_sent.add(tickets);
+  // Local (non-static) handles: ticket runs execute on pool workers, so
+  // avoid hidden function-local-static init coupling on first use.
+  obs::metrics_counter("gatekeeper.ticket_runs").add(1);
+  obs::metrics_counter("gatekeeper.tickets_sent").add(tickets);
 
   TicketRun run;
   run.distributer = source;
@@ -149,11 +148,26 @@ GateKeeperResult run_gatekeeper(const Graph& g, VertexId controller,
 
   obs::ProgressMeter progress{"gatekeeper distributers",
                               params.num_distributers};
-  for (const VertexId d : out.distributers) {
-    const TicketRun run = adaptive_distribute(g, d, params.reach_fraction);
-    for (VertexId v = 0; v < g.num_vertices(); ++v)
-      if (run.reached[v]) ++out.admissions[v];
-    progress.tick();
+  // One adaptive ticket distribution per distributer across the pool;
+  // per-worker admission tallies merge by integer addition, so the final
+  // counts are identical for any thread count.
+  const VertexId n = g.num_vertices();
+  const std::uint32_t workers =
+      parallel::plan_workers(out.distributers.size());
+  std::vector<std::vector<std::uint32_t>> partial(workers);
+  parallel::parallel_for(
+      0, out.distributers.size(), [&](std::size_t i, std::uint32_t worker) {
+        std::vector<std::uint32_t>& admissions = partial[worker];
+        if (admissions.empty()) admissions.assign(n, 0);
+        const TicketRun run = adaptive_distribute(g, out.distributers[i],
+                                                  params.reach_fraction);
+        for (VertexId v = 0; v < n; ++v)
+          if (run.reached[v]) ++admissions[v];
+        progress.tick();
+      });
+  for (const std::vector<std::uint32_t>& admissions : partial) {
+    if (admissions.empty()) continue;
+    for (VertexId v = 0; v < n; ++v) out.admissions[v] += admissions[v];
   }
   return out;
 }
@@ -168,14 +182,31 @@ GateKeeperEvaluation evaluate_gatekeeper(const AttackedGraph& attacked,
   GateKeeperEvaluation eval;
   eval.result = run_gatekeeper(attacked.graph(), controller, params);
 
-  std::uint64_t honest_admitted = 0;
-  std::uint64_t sybil_admitted = 0;
+  // Ranking-eval tally over all vertices: integer pair sums are exactly
+  // associative, so the map-reduce is thread-count invariant.
+  struct Tally {
+    std::uint64_t honest = 0;
+    std::uint64_t sybil = 0;
+  };
   const VertexId n = attacked.graph().num_vertices();
-  for (VertexId v = 0; v < n; ++v) {
-    if (!eval.result.admitted(v)) continue;
-    if (attacked.is_sybil(v)) ++sybil_admitted;
-    else ++honest_admitted;
-  }
+  const Tally tally = parallel::parallel_map_reduce<Tally>(
+      0, n, Tally{},
+      [&](std::size_t v) {
+        Tally t;
+        if (eval.result.admitted(static_cast<VertexId>(v))) {
+          if (attacked.is_sybil(static_cast<VertexId>(v))) t.sybil = 1;
+          else t.honest = 1;
+        }
+        return t;
+      },
+      [](Tally a, Tally b) {
+        a.honest += b.honest;
+        a.sybil += b.sybil;
+        return a;
+      },
+      /*grain=*/8192);
+  const std::uint64_t honest_admitted = tally.honest;
+  const std::uint64_t sybil_admitted = tally.sybil;
   eval.honest_accept_fraction =
       static_cast<double>(honest_admitted) / attacked.num_honest();
   eval.sybils_per_attack_edge = static_cast<double>(sybil_admitted) /

@@ -73,6 +73,12 @@ std::uint64_t Rng::geometric(double p) {
   return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
 }
 
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  std::uint64_t x = base ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  std::uint64_t z = splitmix64(x);
+  return z ^ splitmix64(x);  // two rounds decorrelate consecutive indices
+}
+
 std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
                                                            std::uint32_t k) {
   if (k > n)

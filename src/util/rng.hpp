@@ -76,4 +76,11 @@ class Rng {
   std::uint64_t state_[4];
 };
 
+/// Seed for work item `index` of a sweep seeded with `base`: a splitmix64
+/// finalizer over the pair, so parallel sweeps can give every item an
+/// independent Rng stream that depends only on its index — never on which
+/// worker ran it or in what order (the bitwise-determinism rule of
+/// src/parallel/).
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index) noexcept;
+
 }  // namespace sntrust

@@ -18,6 +18,9 @@
 //                        it as Chrome trace_event JSON (chrome://tracing /
 //                        Perfetto). SNTRUST_TRACE=<path> does the same for
 //                        any binary in the repo.
+//   --threads <n>        Worker threads for the per-source sweeps (same as
+//                        SNTRUST_THREADS; 1 = serial). Results are
+//                        identical for any value.
 // Progress lines for long sweeps appear on stderr with SNTRUST_PROGRESS=1.
 #include <cstdlib>
 #include <iostream>
@@ -30,6 +33,7 @@
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "report/csv_sink.hpp"
 #include "report/table.hpp"
 #include "sybil/gatekeeper.hpp"
@@ -49,7 +53,9 @@ int usage() {
                "  sntrust_cli attack <edgelist.txt> <sybils> <attack_edges>\n"
                "flags:\n"
                "  --trace <out.json>   write a Chrome trace-event JSON of "
-               "the run\n";
+               "the run\n"
+               "  --threads <n>        worker threads for the measurement "
+               "sweeps (1 = serial)\n";
   return 2;
 }
 
@@ -176,7 +182,7 @@ int cmd_attack(const std::string& path, VertexId sybils,
 
 int main(int argc, char** argv) {
   try {
-    // Peel the global --trace flag off before dispatching.
+    // Peel the global --trace / --threads flags off before dispatching.
     std::vector<std::string> args;
     std::string trace_path;
     for (int i = 1; i < argc; ++i) {
@@ -184,6 +190,13 @@ int main(int argc, char** argv) {
       if (arg == "--trace") {
         if (i + 1 >= argc) return usage();
         trace_path = argv[++i];
+        continue;
+      }
+      if (arg == "--threads") {
+        if (i + 1 >= argc) return usage();
+        const int threads = std::atoi(argv[++i]);
+        if (threads <= 0) return usage();
+        parallel::set_thread_count(static_cast<std::uint32_t>(threads));
         continue;
       }
       args.push_back(arg);
