@@ -10,6 +10,7 @@
 #include <string>
 
 #include "gen/datasets.hpp"
+#include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
 
@@ -26,11 +27,14 @@ inline double dataset_scale(double base = 0.35) {
 /// Banner + wall-clock scope timer, built on the obs layer: the printed
 /// elapsed time comes from obs::Stopwatch and the scope is recorded as a
 /// trace span, so `SNTRUST_TRACE=<path> ./fig1_mixing_time` captures every
-/// bench section alongside the library's own spans.
+/// bench section alongside the library's own spans. Constructing a Section
+/// also touches the run reporter, so `SNTRUST_REPORT=<path>` makes any
+/// bench emit its unified JSON run report at exit (see obs/run_report.hpp).
 class Section {
  public:
   explicit Section(std::string title)
       : title_(std::move(title)), span_(title_, "bench") {
+    obs::RunReporter::instance();  // arms the SNTRUST_REPORT atexit export
     std::cout << "=== " << title_ << " ===\n";
   }
   ~Section() {

@@ -15,4 +15,14 @@ fi
 cmake -B build -S . "${GENERATOR[@]}"
 cmake --build build -j "$(nproc)"
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+# Each bench writes a JSON run report (config, totals, span timings with
+# resource columns, metrics) next to the text output it already produces.
+REPORT_DIR="reports/$(date +%Y%m%d-%H%M%S)"
+mkdir -p "$REPORT_DIR"
+for b in build/bench/*; do
+  SNTRUST_REPORT="$REPORT_DIR/$(basename "$b").json" "$b"
+done 2>&1 | tee bench_output.txt
+
+echo "run reports: $REPORT_DIR"
+./build/tools/sntrust_benchdiff --summary "$REPORT_DIR"/*.json

@@ -15,12 +15,10 @@ std::size_t Histogram::bucket_index(double value) {
 
 void Histogram::observe(double value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (data_.count == 0) {
-    data_.min = data_.max = value;
-  } else {
-    data_.min = std::min(data_.min, value);
-    data_.max = std::max(data_.max, value);
-  }
+  // The empty snapshot holds the min/max identities (+inf/-inf), so the
+  // first observation folds in without a special case.
+  data_.min = std::min(data_.min, value);
+  data_.max = std::max(data_.max, value);
   ++data_.count;
   data_.sum += value;
   ++data_.buckets[bucket_index(value)];
@@ -33,13 +31,14 @@ HistogramSnapshot Histogram::snapshot() const {
 
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
-  data_ = HistogramSnapshot{
-      0, 0.0, 0.0, 0.0, std::vector<std::uint64_t>(kHistogramBuckets, 0)};
+  data_ = HistogramSnapshot{};
 }
 
 Metrics& Metrics::instance() {
-  static Metrics metrics;
-  return metrics;
+  // Intentionally leaked, like the Tracer: the SNTRUST_REPORT atexit hook
+  // snapshots the registry at process exit and must find it alive.
+  static Metrics* metrics = new Metrics();
+  return *metrics;
 }
 
 Counter& Metrics::counter(const std::string& name) {
@@ -85,10 +84,12 @@ Table Metrics::to_table() const {
     table.add_row({"gauge", name, compact(value)});
   for (const auto& [name, histogram] : snap.histograms)
     table.add_row({"histogram", name,
-                   with_thousands(histogram.count) + " obs, mean " +
-                       compact(histogram.mean()) + ", min " +
-                       compact(histogram.min) + ", max " +
-                       compact(histogram.max)});
+                   histogram.count == 0
+                       ? "0 obs"
+                       : with_thousands(histogram.count) + " obs, mean " +
+                             compact(histogram.mean()) + ", min " +
+                             compact(histogram.min) + ", max " +
+                             compact(histogram.max)});
   return table;
 }
 
@@ -103,5 +104,7 @@ void set_gauge(const std::string& name, double value) {
 void observe(const std::string& name, double value) {
   Metrics::instance().histogram(name).observe(value);
 }
+
+void metrics_reset_all() { Metrics::instance().reset(); }
 
 }  // namespace sntrust::obs

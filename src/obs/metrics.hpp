@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -50,12 +51,18 @@ class Gauge {
 /// holds values < 1, bucket i >= 1 holds values in [2^(i-1), 2^i).
 inline constexpr std::size_t kHistogramBuckets = 64;
 
+/// Empty-histogram contract: when `count == 0`, `min` is +infinity and
+/// `max` is -infinity (the identity elements of min/max, so folds over
+/// snapshots stay correct), `sum` is 0, and `mean()` is 0. Renderers that
+/// cannot encode infinities (JSON reports, tables) must gate min/max on
+/// `count > 0`.
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-  std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets entries
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::vector<std::uint64_t> buckets =
+      std::vector<std::uint64_t>(kHistogramBuckets, 0);
 
   double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
@@ -73,8 +80,7 @@ class Histogram {
 
  private:
   mutable std::mutex mutex_;
-  HistogramSnapshot data_{0, 0.0, 0.0, 0.0,
-                          std::vector<std::uint64_t>(kHistogramBuckets, 0)};
+  HistogramSnapshot data_;
 };
 
 struct MetricsSnapshot {
@@ -115,6 +121,11 @@ class Metrics {
 void count(const std::string& name, std::uint64_t delta = 1);
 void set_gauge(const std::string& name, double value);
 void observe(const std::string& name, double value);
+
+/// Zeroes every registered counter, gauge, and histogram in the process.
+/// Test fixtures call this in SetUp so metric assertions are isolated from
+/// whatever other suites ran earlier in the same process.
+void metrics_reset_all();
 
 /// Cached-handle helpers for hot call sites.
 inline Counter& metrics_counter(const std::string& name) {

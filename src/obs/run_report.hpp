@@ -1,0 +1,97 @@
+// Unified JSON run reports: one schema-versioned artifact per process run
+// combining the run configuration (threads, scale, seed, graph sizes, ...),
+// the metrics snapshot, the per-span timing table with resource columns
+// (wall/cpu/alloc/rss from obs/resource.hpp), and wall/CPU/peak-RSS totals.
+//
+// Arm with SNTRUST_REPORT=<path> (any binary that touches the reporter —
+// every bench does via bench_common.hpp::Section — writes the report at
+// process exit) or with `sntrust_cli --report <path>`. Arming the reporter
+// also enables the tracer so the span table is populated. Reports from two
+// runs diff with `tools/sntrust_benchdiff` (alignment by span path / metric
+// name, threshold gating), which is what turns a perf PR into a measured,
+// diffable claim.
+//
+// Schema (version 1, all times milliseconds unless suffixed otherwise):
+//   {
+//     "schema_version": 1,
+//     "tool": "<binary name>",
+//     "config":  {"threads": N, "scale": S, ...set_config entries},
+//     "totals":  {"wall_ms", "user_cpu_ms", "system_cpu_ms", "cpu_ms",
+//                 "peak_rss_bytes", "alloc_bytes", "alloc_count",
+//                 "free_count"},
+//     "spans":   [{"path", "count", "wall_ms", "cpu_ms", "alloc_bytes",
+//                  "alloc_count", "peak_rss_bytes"}, ...],
+//     "metrics": {"counters": {name: value},
+//                 "gauges":   {name: value},
+//                 "histograms": {name: {"count", "sum", "mean"
+//                                       [, "min", "max"]}}}
+//   }
+// Histogram min/max are omitted when count == 0 (the empty-histogram
+// contract's infinities have no JSON encoding). CPU and RSS totals are
+// process-cumulative; wall_ms counts from the reporter's creation (the
+// first Section / CLI flag parse, i.e. effectively process start).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace sntrust::obs {
+
+inline constexpr std::int64_t kRunReportSchemaVersion = 1;
+
+/// Process-wide run-report collector. Construction (first `instance()`)
+/// records the wall-clock baseline, reads SNTRUST_REPORT, and — when a path
+/// is configured — arms an atexit hook and enables the tracer.
+class RunReporter {
+ public:
+  static RunReporter& instance();
+
+  /// Path the report is written to at process exit; empty disables the
+  /// export. Setting a non-empty path enables the tracer.
+  void set_export_path(std::string path);
+  std::string export_path() const;
+
+  /// Label for the "tool" field; defaults to the binary name when the
+  /// platform exposes it.
+  void set_tool(std::string name);
+
+  /// Records one "config" entry (insertion-ordered, last write per key
+  /// wins). "threads" and "scale" are auto-filled at write time unless set
+  /// explicitly here.
+  void set_config(const std::string& key, std::string value);
+  void set_config(const std::string& key, const char* value);
+  void set_config(const std::string& key, double value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void set_config(const std::string& key, T value) {
+    set_config_value(key, json::Value::integer(static_cast<std::int64_t>(value)));
+  }
+  void set_config(const std::string& key, bool value);
+
+  /// Assembles the report from the live tracer/metrics/resource state.
+  json::Value build() const;
+
+  void write(std::ostream& out) const;
+  void write_file(const std::string& path) const;
+
+ private:
+  RunReporter();
+  void set_config_value(const std::string& key, json::Value value);
+
+  mutable std::mutex mutex_;
+  std::string export_path_;
+  std::string tool_;
+  std::vector<std::pair<std::string, json::Value>> config_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace sntrust::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -9,33 +10,11 @@
 
 #include "util/env.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 
 namespace sntrust::obs {
 
-namespace {
-
-void write_json_string(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\t': out << "\\t"; break;
-      case '\r': out << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
-}
-
-}  // namespace
+using json::write_json_string;
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
   const std::string env_path = env_string("SNTRUST_TRACE", "");
@@ -43,10 +22,16 @@ Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
     export_path_ = env_path;
     enabled_.store(true, std::memory_order_relaxed);
     std::atexit([] {
-      Tracer& tracer = Tracer::instance();
-      const std::string path = tracer.export_path();
-      if (!path.empty() && tracer.enabled())
-        tracer.write_chrome_trace_file(path);
+      // Throwing from an atexit handler is std::terminate; report instead.
+      try {
+        Tracer& tracer = Tracer::instance();
+        const std::string path = tracer.export_path();
+        if (!path.empty() && tracer.enabled())
+          tracer.write_chrome_trace_file(path);
+      } catch (const std::exception& error) {
+        std::fputs(error.what(), stderr);
+        std::fputc('\n', stderr);
+      }
     });
   }
 }
@@ -71,6 +56,7 @@ void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
 void Tracer::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
+  span_starts_.clear();
   open_stack_.clear();
   epoch_ = std::chrono::steady_clock::now();
 }
@@ -102,6 +88,7 @@ std::int64_t Tracer::begin_span(std::string name, std::string category) {
   event.start_ns = now_ns_locked();
   const auto index = static_cast<std::int64_t>(events_.size());
   events_.push_back(std::move(event));
+  span_starts_.push_back(resource_usage_now());
   open_stack_.push_back(index);
   return index;
 }
@@ -112,6 +99,13 @@ void Tracer::end_span(std::int64_t token) {
   TraceEvent& event = events_[static_cast<std::size_t>(token)];
   event.duration_ns = now_ns_locked() - event.start_ns;
   event.closed = true;
+  // Resource attribution: process-wide deltas over the span's window.
+  const ResourceUsage& start = span_starts_[static_cast<std::size_t>(token)];
+  const ResourceUsage end = resource_usage_now();
+  event.cpu_ns = end.cpu_ns() - start.cpu_ns();
+  event.alloc_bytes = end.alloc_bytes - start.alloc_bytes;
+  event.alloc_count = end.alloc_count - start.alloc_count;
+  event.peak_rss_bytes = end.peak_rss_bytes;
   // Pop through the stack in case inner spans leaked (exception unwound past
   // a reset); spans always close LIFO in normal operation.
   while (!open_stack_.empty()) {
@@ -160,7 +154,9 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     write_json_string(out, event.category);
     out << ",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":"
         << event.start_ns / 1000 << ",\"dur\":" << event.duration_ns / 1000
-        << ",\"args\":{\"depth\":" << event.depth << "}}";
+        << ",\"args\":{\"depth\":" << event.depth
+        << ",\"cpu_us\":" << event.cpu_ns / 1000
+        << ",\"alloc_bytes\":" << event.alloc_bytes << "}}";
   }
   out << "],\"displayTimeUnit\":\"ms\"}\n";
 }
@@ -173,7 +169,7 @@ void Tracer::write_chrome_trace_file(const std::string& path) const {
   if (!out) throw std::runtime_error("Tracer: trace write failed " + path);
 }
 
-Table Tracer::timing_table() const {
+TraceAggregate Tracer::aggregate_by_path() const {
   const std::vector<TraceEvent> snapshot = events();
   // Join each event's ancestor chain into a path; aggregate by path.
   std::vector<std::string> paths(snapshot.size());
@@ -185,18 +181,23 @@ Table Tracer::timing_table() const {
                          event.name;
   }
   struct Agg {
-    std::uint64_t count = 0;
-    std::uint64_t total_ns = 0;
+    SpanAggregate totals;
     std::size_t first_seen = 0;
   };
   std::map<std::string, Agg> by_path;
-  std::uint64_t root_total = 0;
+  TraceAggregate out;
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const TraceEvent& event = snapshot[i];
     Agg& agg = by_path[paths[i]];
-    if (agg.count == 0) agg.first_seen = i;
-    ++agg.count;
-    agg.total_ns += snapshot[i].duration_ns;
-    if (snapshot[i].depth == 0) root_total += snapshot[i].duration_ns;
+    if (agg.totals.count == 0) agg.first_seen = i;
+    ++agg.totals.count;
+    agg.totals.wall_ns += event.duration_ns;
+    agg.totals.cpu_ns += event.cpu_ns;
+    agg.totals.alloc_bytes += event.alloc_bytes;
+    agg.totals.alloc_count += event.alloc_count;
+    agg.totals.peak_rss_bytes =
+        std::max(agg.totals.peak_rss_bytes, event.peak_rss_bytes);
+    if (event.depth == 0) out.root_wall_ns += event.duration_ns;
   }
   // Present in first-seen order so the table reads like the run.
   std::vector<const std::pair<const std::string, Agg>*> ordered;
@@ -206,19 +207,30 @@ Table Tracer::timing_table() const {
             [](const auto* a, const auto* b) {
               return a->second.first_seen < b->second.first_seen;
             });
-
-  Table table{{"span", "count", "total ms", "mean ms", "share"}};
+  out.spans.reserve(ordered.size());
   for (const auto* entry : ordered) {
-    const Agg& agg = entry->second;
-    const double total_ms = agg.total_ns / 1e6;
-    const double share = root_total == 0
-                             ? 0.0
-                             : 100.0 * static_cast<double>(agg.total_ns) /
-                                   static_cast<double>(root_total);
-    table.add_row({entry->first, std::to_string(agg.count),
-                   fixed(total_ms, 3),
-                   fixed(total_ms / static_cast<double>(agg.count), 3),
-                   fixed(share, 1) + "%"});
+    SpanAggregate span = entry->second.totals;
+    span.path = entry->first;
+    out.spans.push_back(std::move(span));
+  }
+  return out;
+}
+
+Table Tracer::timing_table() const {
+  const TraceAggregate aggregate = aggregate_by_path();
+  Table table{{"span", "count", "total ms", "mean ms", "share", "cpu ms",
+               "allocs"}};
+  for (const SpanAggregate& span : aggregate.spans) {
+    const double total_ms = span.wall_ns / 1e6;
+    const double share =
+        aggregate.root_wall_ns == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(span.wall_ns) /
+                  static_cast<double>(aggregate.root_wall_ns);
+    table.add_row({span.path, std::to_string(span.count), fixed(total_ms, 3),
+                   fixed(total_ms / static_cast<double>(span.count), 3),
+                   fixed(share, 1) + "%", fixed(span.cpu_ns / 1e6, 3),
+                   with_thousands(span.alloc_count)});
   }
   return table;
 }

@@ -19,12 +19,20 @@
 #include <string>
 #include <vector>
 
+#include "obs/resource.hpp"
 #include "report/table.hpp"
 
 namespace sntrust::obs {
 
 /// One completed (or still-open) span. Events are stored in begin order, so
 /// `parent` indices always point backwards; `depth` 0 means a root span.
+///
+/// Resource fields are process-wide deltas between span begin and end
+/// (see obs/resource.hpp): nested or concurrent spans each observe the full
+/// process consumption over their window, so attribution is exact for the
+/// single-stack measurement loops and an upper bound under the thread pool.
+/// They are zero while the span is open; alloc fields are zero unless
+/// SNTRUST_ALLOC_STATS counting is enabled.
 struct TraceEvent {
   std::string name;
   std::string category;
@@ -33,6 +41,28 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;     ///< steady-clock offset from tracer epoch
   std::uint64_t duration_ns = 0;  ///< 0 while the span is still open
   bool closed = false;
+  std::uint64_t cpu_ns = 0;          ///< user+system CPU over the span
+  std::uint64_t alloc_bytes = 0;     ///< bytes newed during the span
+  std::uint64_t alloc_count = 0;     ///< operator new calls during the span
+  std::uint64_t peak_rss_bytes = 0;  ///< process peak RSS at span close
+};
+
+/// Per-path aggregation of the trace (paths are "a/b/c" joins of the span
+/// stack), including the resource columns; the input to both the printed
+/// timing table and the run report.
+struct SpanAggregate {
+  std::string path;
+  std::uint64_t count = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cpu_ns = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t peak_rss_bytes = 0;  ///< max over the path's spans
+};
+
+struct TraceAggregate {
+  std::vector<SpanAggregate> spans;  ///< in first-seen order
+  std::uint64_t root_wall_ns = 0;    ///< total wall of depth-0 spans
 };
 
 /// Monotonic wall-clock scope timer (steady_clock); the one timing primitive
@@ -85,9 +115,13 @@ class Tracer {
   void write_chrome_trace_file(const std::string& path) const;
 
   /// Flat per-path aggregation ("a/b/c" join of the span stack): count,
-  /// total/mean wall-clock, and share of the root total. Feed to
-  /// Table::print or report/csv_sink.
+  /// total/mean wall-clock, share of the root total, and the CPU/alloc
+  /// resource columns. Feed to Table::print or report/csv_sink.
   Table timing_table() const;
+
+  /// The aggregation behind timing_table(), in structured form for the run
+  /// report and the benchdiff alignment.
+  TraceAggregate aggregate_by_path() const;
 
  private:
   friend class Span;
@@ -103,6 +137,7 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   std::vector<TraceEvent> events_;
+  std::vector<ResourceUsage> span_starts_;  ///< begin sample, index-aligned
   std::vector<std::int64_t> open_stack_;
   std::string export_path_;
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 
 namespace sntrust::parallel {
@@ -45,6 +46,7 @@ struct Job {
   std::uint32_t workers = 0;
   std::atomic<std::uint32_t> next_slot{0};
   std::atomic<std::uint32_t> completed{0};
+  std::atomic<std::uint64_t> busy_ns{0};   ///< summed chunk wall-clock
   std::vector<std::exception_ptr> errors;  ///< one entry per worker slot
 };
 
@@ -74,6 +76,9 @@ class ThreadPool {
       while (threads_.size() + 1 < job->workers &&
              threads_.size() + 1 < kMaxThreads)
         threads_.emplace_back([this] { worker_main(); });
+      // Pool size including the participating caller; grows monotonically.
+      obs::Metrics::instance().gauge("parallel.pool_threads")
+          .set(static_cast<double>(threads_.size() + 1));
       job_ = job;
       ++generation_;
     }
@@ -120,11 +125,14 @@ class ThreadPool {
       const std::size_t chunk_begin =
           job.begin + slot * base + std::min<std::size_t>(slot, extra);
       const std::size_t chunk_end = chunk_begin + base + (slot < extra ? 1 : 0);
+      const obs::Stopwatch chunk_clock;
       try {
         (*job.fn)(chunk_begin, chunk_end, slot);
       } catch (...) {
         job.errors[slot] = std::current_exception();
       }
+      job.busy_ns.fetch_add(chunk_clock.elapsed_ns(),
+                            std::memory_order_relaxed);
       if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           job.workers) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -189,6 +197,7 @@ void run_chunks(std::size_t begin, std::size_t end, const ChunkFn& fn,
 
   obs::metrics_counter("parallel.regions").add(1);
   obs::metrics_counter("parallel.chunks").add(workers);
+  obs::metrics_counter("parallel.items").add(items);
   obs::Metrics::instance().gauge("parallel.workers").set(workers);
 
   auto job = std::make_shared<Job>();
@@ -197,7 +206,20 @@ void run_chunks(std::size_t begin, std::size_t end, const ChunkFn& fn,
   job->items = items;
   job->workers = workers;
   job->errors.assign(workers, nullptr);
+  const obs::Stopwatch region_clock;
   ThreadPool::instance().run(job);
+  const std::uint64_t region_ns = region_clock.elapsed_ns();
+  // Pool utilization: fraction of the region's worker-seconds spent inside
+  // chunks (1.0 = perfectly balanced, no idle workers). Lands in the run
+  // report alongside parallel.region_ms so perf diffs see load imbalance.
+  if (region_ns > 0) {
+    const double busy =
+        static_cast<double>(job->busy_ns.load(std::memory_order_relaxed));
+    obs::Metrics::instance().gauge("parallel.utilization")
+        .set(busy / (static_cast<double>(workers) *
+                     static_cast<double>(region_ns)));
+  }
+  obs::metrics_histogram("parallel.region_ms").observe(region_ns / 1e6);
   for (const std::exception_ptr& error : job->errors)
     if (error) std::rethrow_exception(error);
 }

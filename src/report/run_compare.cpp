@@ -1,0 +1,234 @@
+#include "report/run_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace sntrust {
+
+namespace {
+
+double number_or(const json::Value* value, double fallback) {
+  return value != nullptr && value->is_number() ? value->as_number()
+                                                : fallback;
+}
+
+}  // namespace
+
+RunReportData parse_run_report(const json::Value& document) {
+  RunReportData data;
+  const json::Value* version = document.find("schema_version");
+  if (version == nullptr || !version->is_number())
+    throw std::runtime_error("run report: missing schema_version");
+  data.schema_version = version->as_int();
+  if (data.schema_version != 1)
+    throw std::runtime_error("run report: unsupported schema_version " +
+                             std::to_string(data.schema_version));
+
+  if (const json::Value* tool = document.find("tool");
+      tool != nullptr && tool->is_string())
+    data.tool = tool->as_string();
+
+  if (const json::Value* totals = document.find("totals");
+      totals != nullptr && totals->is_object())
+    for (const json::Member& member : totals->as_object())
+      if (member.second.is_number())
+        data.totals.emplace(member.first, member.second.as_number());
+
+  if (const json::Value* spans = document.find("spans");
+      spans != nullptr && spans->is_array()) {
+    for (const json::Value& row : spans->as_array()) {
+      const json::Value* path = row.find("path");
+      if (path == nullptr || !path->is_string())
+        throw std::runtime_error("run report: span row without a path");
+      RunReportData::SpanRow span;
+      span.path = path->as_string();
+      span.count =
+          static_cast<std::uint64_t>(number_or(row.find("count"), 0.0));
+      span.wall_ms = number_or(row.find("wall_ms"), 0.0);
+      span.cpu_ms = number_or(row.find("cpu_ms"), 0.0);
+      span.alloc_bytes =
+          static_cast<std::uint64_t>(number_or(row.find("alloc_bytes"), 0.0));
+      span.alloc_count =
+          static_cast<std::uint64_t>(number_or(row.find("alloc_count"), 0.0));
+      data.spans.push_back(std::move(span));
+    }
+  }
+
+  if (const json::Value* metrics = document.find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    if (const json::Value* counters = metrics->find("counters");
+        counters != nullptr && counters->is_object())
+      for (const json::Member& member : counters->as_object())
+        if (member.second.is_number())
+          data.counters.emplace(member.first, member.second.as_number());
+    if (const json::Value* gauges = metrics->find("gauges");
+        gauges != nullptr && gauges->is_object())
+      for (const json::Member& member : gauges->as_object())
+        if (member.second.is_number())
+          data.gauges.emplace(member.first, member.second.as_number());
+  }
+  return data;
+}
+
+RunReportData load_run_report(const std::string& path) {
+  std::ifstream in{path};
+  if (!in)
+    throw std::runtime_error("run report: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_run_report(json::Value::parse(buffer.str()));
+  } catch (const std::exception& error) {
+    throw std::runtime_error(path + ": " + error.what());
+  }
+}
+
+const char* to_string(DiffRow::Status status) {
+  switch (status) {
+    case DiffRow::Status::Ok: return "ok";
+    case DiffRow::Status::Regressed: return "REGRESSED";
+    case DiffRow::Status::Improved: return "improved";
+    case DiffRow::Status::Added: return "added";
+    case DiffRow::Status::Removed: return "removed";
+  }
+  return "?";
+}
+
+namespace {
+
+double delta_pct(double baseline, double candidate) {
+  if (baseline <= 0.0)
+    return candidate > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  return 100.0 * (candidate - baseline) / baseline;
+}
+
+/// Classifies one aligned quantity against a symmetric threshold.
+DiffRow classify(std::string name, std::string metric, double baseline,
+                 double candidate, double threshold_pct) {
+  DiffRow row;
+  row.name = std::move(name);
+  row.metric = std::move(metric);
+  row.baseline = baseline;
+  row.candidate = candidate;
+  row.delta_pct = delta_pct(baseline, candidate);
+  if (row.delta_pct > threshold_pct)
+    row.status = DiffRow::Status::Regressed;
+  else if (row.delta_pct < -threshold_pct)
+    row.status = DiffRow::Status::Improved;
+  return row;
+}
+
+}  // namespace
+
+DiffResult diff_run_reports(const RunReportData& baseline,
+                            const RunReportData& candidate,
+                            const DiffOptions& options) {
+  DiffResult result;
+
+  std::map<std::string, const RunReportData::SpanRow*> baseline_spans;
+  for (const RunReportData::SpanRow& span : baseline.spans)
+    baseline_spans.emplace(span.path, &span);
+
+  for (const RunReportData::SpanRow& span : candidate.spans) {
+    const auto found = baseline_spans.find(span.path);
+    if (found == baseline_spans.end()) {
+      DiffRow row;
+      row.name = span.path;
+      row.metric = "wall_ms";
+      row.candidate = span.wall_ms;
+      row.status = DiffRow::Status::Added;
+      result.spans.push_back(std::move(row));
+      continue;
+    }
+    const RunReportData::SpanRow& base = *found->second;
+    baseline_spans.erase(found);
+    // Spans tiny in both runs are timer noise, not signal.
+    if (std::max(base.wall_ms, span.wall_ms) < options.min_wall_ms) continue;
+    DiffRow wall = classify(span.path, "wall_ms", base.wall_ms, span.wall_ms,
+                            options.span_threshold_pct);
+    if (wall.status == DiffRow::Status::Regressed) result.breached = true;
+    result.spans.push_back(std::move(wall));
+    if (options.gate_cpu &&
+        std::max(base.cpu_ms, span.cpu_ms) >= options.min_wall_ms) {
+      DiffRow cpu = classify(span.path, "cpu_ms", base.cpu_ms, span.cpu_ms,
+                             options.span_threshold_pct);
+      if (cpu.status == DiffRow::Status::Regressed) result.breached = true;
+      if (cpu.status != DiffRow::Status::Ok)
+        result.spans.push_back(std::move(cpu));
+    }
+  }
+  for (const auto& [path, span] : baseline_spans) {
+    DiffRow row;
+    row.name = path;
+    row.metric = "wall_ms";
+    row.baseline = span->wall_ms;
+    row.status = DiffRow::Status::Removed;
+    result.spans.push_back(std::move(row));
+  }
+
+  // Totals: wall and peak RSS gate; the rest are context.
+  auto total_of = [](const RunReportData& report, const char* key) {
+    const auto found = report.totals.find(key);
+    return found == report.totals.end() ? 0.0 : found->second;
+  };
+  {
+    DiffRow wall = classify("totals", "wall_ms", total_of(baseline, "wall_ms"),
+                            total_of(candidate, "wall_ms"),
+                            options.total_threshold_pct);
+    if (wall.status == DiffRow::Status::Regressed) result.breached = true;
+    result.totals.push_back(std::move(wall));
+  }
+  {
+    DiffRow cpu = classify("totals", "cpu_ms", total_of(baseline, "cpu_ms"),
+                           total_of(candidate, "cpu_ms"),
+                           options.total_threshold_pct);
+    if (options.gate_cpu && cpu.status == DiffRow::Status::Regressed)
+      result.breached = true;
+    else if (!options.gate_cpu && cpu.status == DiffRow::Status::Regressed)
+      cpu.status = DiffRow::Status::Ok;  // informational without the gate
+    result.totals.push_back(std::move(cpu));
+  }
+  {
+    DiffRow rss = classify(
+        "totals", "peak_rss_bytes", total_of(baseline, "peak_rss_bytes"),
+        total_of(candidate, "peak_rss_bytes"), options.rss_threshold_pct);
+    if (rss.status == DiffRow::Status::Regressed) result.breached = true;
+    result.totals.push_back(std::move(rss));
+  }
+  return result;
+}
+
+Table diff_table(const DiffResult& result) {
+  Table table{{"kind", "name", "metric", "baseline", "candidate", "delta",
+               "status"}};
+  auto add_rows = [&table](const std::vector<DiffRow>& rows, const char* kind,
+                           bool regressions_only) {
+    for (const DiffRow& row : rows) {
+      const bool regressed = row.status == DiffRow::Status::Regressed;
+      if (regressions_only != regressed) continue;
+      const std::string delta =
+          row.status == DiffRow::Status::Added ||
+                  row.status == DiffRow::Status::Removed
+              ? "-"
+              : (std::isfinite(row.delta_pct)
+                     ? fixed(row.delta_pct, 1) + "%"
+                     : "inf");
+      table.add_row({kind, row.name, row.metric, fixed(row.baseline, 3),
+                     fixed(row.candidate, 3), delta, to_string(row.status)});
+    }
+  };
+  // Regressions first so a failing CI log leads with the verdict.
+  add_rows(result.spans, "span", true);
+  add_rows(result.totals, "total", true);
+  add_rows(result.spans, "span", false);
+  add_rows(result.totals, "total", false);
+  return table;
+}
+
+}  // namespace sntrust

@@ -1,0 +1,85 @@
+// Run-report comparison: loads the JSON artifacts RunReporter emits, aligns
+// two runs by span path / metric name, and classifies each aligned row
+// against configurable regression thresholds. The core of
+// tools/sntrust_benchdiff, kept in the library so the gating logic is unit
+// tested and reusable (CI smoke gates, scripted sweeps).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report/table.hpp"
+#include "util/json.hpp"
+
+namespace sntrust {
+
+/// Parsed form of one run-report JSON (schema version 1; see
+/// obs/run_report.hpp for the schema).
+struct RunReportData {
+  std::int64_t schema_version = 0;
+  std::string tool;
+  std::map<std::string, double> totals;  ///< wall_ms, cpu_ms, peak_rss_bytes...
+
+  struct SpanRow {
+    std::string path;
+    std::uint64_t count = 0;
+    double wall_ms = 0.0;
+    double cpu_ms = 0.0;
+    std::uint64_t alloc_bytes = 0;
+    std::uint64_t alloc_count = 0;
+  };
+  std::vector<SpanRow> spans;  ///< in report order
+
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+};
+
+/// Parses an in-memory report document; throws std::runtime_error on a
+/// missing/mismatched schema_version or malformed sections.
+RunReportData parse_run_report(const json::Value& document);
+
+/// Reads and parses a report file; throws on I/O or parse errors.
+RunReportData load_run_report(const std::string& path);
+
+struct DiffOptions {
+  double span_threshold_pct = 25.0;   ///< wall regression gate per span
+  double total_threshold_pct = 15.0;  ///< wall regression gate on totals
+  double rss_threshold_pct = 50.0;    ///< peak-RSS regression gate
+  double min_wall_ms = 5.0;  ///< spans below this in both runs are noise
+  bool gate_cpu = false;     ///< also breach on span cpu_ms regressions
+};
+
+struct DiffRow {
+  enum class Status { Ok, Regressed, Improved, Added, Removed };
+  std::string name;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double delta_pct = 0.0;  ///< (candidate - baseline) / baseline * 100
+  Status status = Status::Ok;
+  std::string metric;  ///< which quantity was gated ("wall_ms", ...)
+};
+
+struct DiffResult {
+  std::vector<DiffRow> spans;
+  std::vector<DiffRow> totals;
+  bool breached = false;  ///< any Regressed row past its threshold
+};
+
+const char* to_string(DiffRow::Status status);
+
+/// Aligns spans by path and totals by key, classifying each row. A span
+/// breaches when its candidate wall (or cpu with gate_cpu) exceeds baseline
+/// by more than span_threshold_pct and either side clears min_wall_ms.
+/// Totals gate wall_ms at total_threshold_pct and peak_rss_bytes at
+/// rss_threshold_pct. Added/Removed spans never breach (new phases are a
+/// code change, not a regression) but are listed for the reader.
+DiffResult diff_run_reports(const RunReportData& baseline,
+                            const RunReportData& candidate,
+                            const DiffOptions& options);
+
+/// Renders the diff as a printable table (regressions first).
+Table diff_table(const DiffResult& result);
+
+}  // namespace sntrust

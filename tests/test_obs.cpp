@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/json.hpp"
 
 namespace sntrust::obs {
 namespace {
@@ -131,6 +134,24 @@ TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
   EXPECT_NE(json.find("\"dur\":"), std::string::npos);
 }
 
+TEST_F(TraceTest, ChromeTraceExportEscapesHostileSpanNames) {
+  const std::string hostile[] = {
+      "control \x01\x1f chars",
+      "quotes \" and \\ backslashes",
+      "newline\nand\ttab",
+      "non-ascii naïve ☃ 😀",
+  };
+  for (const std::string& name : hostile) { Span span{name}; }
+  std::ostringstream out;
+  Tracer::instance().write_chrome_trace(out);
+  // The export must satisfy a strict parser and round-trip every name.
+  const json::Value doc = json::Value::parse(out.str());
+  const json::Array& events = doc.find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].find("name")->as_string(), hostile[i]);
+}
+
 TEST_F(TraceTest, RootSpanDominatesCoverage) {
   {
     Span root{"almost everything"};
@@ -154,8 +175,16 @@ TEST_F(TraceTest, TimingTableAggregatesByPath) {
 
 // -------------------------------------------------------------- metrics ---
 
-TEST(Metrics, CounterAccumulatesAndSnapshots) {
-  Metrics::instance().reset();
+/// Metrics live in a process-wide registry, so other suites running earlier
+/// in the same binary leave state behind; metrics_reset_all() in SetUp and
+/// TearDown isolates every assertion here.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { metrics_reset_all(); }
+  void TearDown() override { metrics_reset_all(); }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAndSnapshots) {
   Counter& c = Metrics::instance().counter("test.counter");
   c.add();
   c.add(41);
@@ -165,24 +194,23 @@ TEST(Metrics, CounterAccumulatesAndSnapshots) {
   EXPECT_EQ(snap.counters.at("test.counter"), 42u);
 }
 
-TEST(Metrics, CounterReferenceStableAcrossReset) {
+TEST_F(MetricsTest, CounterReferenceStableAcrossReset) {
   Counter& before = Metrics::instance().counter("test.stable");
   before.add(7);
-  Metrics::instance().reset();
+  metrics_reset_all();
   EXPECT_EQ(before.value(), 0u);
   Counter& after = Metrics::instance().counter("test.stable");
   EXPECT_EQ(&before, &after);
 }
 
-TEST(Metrics, GaugeIsLastWriteWins) {
-  Metrics::instance().reset();
+TEST_F(MetricsTest, GaugeIsLastWriteWins) {
   set_gauge("test.gauge", 1.5);
   set_gauge("test.gauge", -3.25);
   EXPECT_DOUBLE_EQ(Metrics::instance().snapshot().gauges.at("test.gauge"),
                    -3.25);
 }
 
-TEST(Metrics, HistogramBucketBoundaries) {
+TEST_F(MetricsTest, HistogramBucketBoundaries) {
   EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
   EXPECT_EQ(Histogram::bucket_index(0.5), 0u);
   EXPECT_EQ(Histogram::bucket_index(1.0), 1u);  // [1, 2)
@@ -193,8 +221,7 @@ TEST(Metrics, HistogramBucketBoundaries) {
   EXPECT_EQ(Histogram::bucket_index(1e300), kHistogramBuckets - 1);
 }
 
-TEST(Metrics, HistogramSnapshotIsCorrect) {
-  Metrics::instance().reset();
+TEST_F(MetricsTest, HistogramSnapshotIsCorrect) {
   Histogram& h = Metrics::instance().histogram("test.histogram");
   for (const double v : {1.0, 3.0, 3.0, 10.0}) h.observe(v);
   const HistogramSnapshot snap = h.snapshot();
@@ -209,8 +236,28 @@ TEST(Metrics, HistogramSnapshotIsCorrect) {
   EXPECT_EQ(snap.buckets[4], 1u);  // 10.0 in [8, 16)
 }
 
-TEST(Metrics, ToTableListsEveryKind) {
-  Metrics::instance().reset();
+TEST_F(MetricsTest, EmptyHistogramHoldsMinMaxIdentities) {
+  Histogram& h = Metrics::instance().histogram("test.empty");
+  const HistogramSnapshot empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.sum, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  // The documented contract: +inf/-inf, the identities of min/max, so folds
+  // over snapshots need no empty special case — and reset restores them.
+  EXPECT_TRUE(std::isinf(empty.min));
+  EXPECT_GT(empty.min, 0.0);
+  EXPECT_TRUE(std::isinf(empty.max));
+  EXPECT_LT(empty.max, 0.0);
+
+  h.observe(-3.0);
+  const HistogramSnapshot one = h.snapshot();
+  EXPECT_DOUBLE_EQ(one.min, -3.0);
+  EXPECT_DOUBLE_EQ(one.max, -3.0);
+  h.reset();
+  EXPECT_TRUE(std::isinf(h.snapshot().min));
+}
+
+TEST_F(MetricsTest, ToTableListsEveryKind) {
   count("test.table.counter", 5);
   set_gauge("test.table.gauge", 0.5);
   observe("test.table.histogram", 2.0);

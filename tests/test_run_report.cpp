@@ -1,0 +1,240 @@
+#include "obs/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/trace.hpp"
+
+namespace sntrust::obs {
+namespace {
+
+// ------------------------------------------------------ resource sampler ---
+
+TEST(Resource, CpuAndRssSamplesAreMonotoneAndNonTrivial) {
+  const ResourceUsage before = resource_usage_now();
+  // Burn a little CPU so the second sample must not go backwards.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  const ResourceUsage after = resource_usage_now();
+  EXPECT_GE(after.user_cpu_ns, before.user_cpu_ns);
+  EXPECT_GE(after.system_cpu_ns, before.system_cpu_ns);
+  EXPECT_GE(after.peak_rss_bytes, before.peak_rss_bytes);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(after.peak_rss_bytes, 0u);
+  EXPECT_GT(after.cpu_ns(), 0u);
+#endif
+}
+
+class AllocStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { was_enabled_ = alloc_stats_enabled(); }
+  void TearDown() override { set_alloc_stats_enabled(was_enabled_); }
+  bool was_enabled_ = false;
+};
+
+TEST_F(AllocStatsTest, CountersTrackHeapAllocationsWhenEnabled) {
+  set_alloc_stats_enabled(true);
+  const ResourceUsage before = resource_usage_now();
+  {
+    std::vector<char> block(1 << 20);
+    block[0] = 1;
+    EXPECT_EQ(block[0], 1);
+  }
+  const ResourceUsage after = resource_usage_now();
+  EXPECT_GE(after.alloc_bytes - before.alloc_bytes, 1u << 20);
+  EXPECT_GT(after.alloc_count, before.alloc_count);
+  EXPECT_GT(after.free_count, before.free_count);
+}
+
+TEST_F(AllocStatsTest, CountersFreezeWhenDisabled) {
+  set_alloc_stats_enabled(false);
+  const ResourceUsage before = resource_usage_now();
+  {
+    std::vector<char> block(1 << 20);
+    block[0] = 1;
+    EXPECT_EQ(block[0], 1);
+  }
+  const ResourceUsage after = resource_usage_now();
+  EXPECT_EQ(after.alloc_bytes, before.alloc_bytes);
+  EXPECT_EQ(after.alloc_count, before.alloc_count);
+}
+
+// ------------------------------------------------- span resource columns ---
+
+class SpanResourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = alloc_stats_enabled();
+    Tracer::instance().reset();
+    Tracer::instance().enable();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().reset();
+    set_alloc_stats_enabled(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(SpanResourceTest, SpansAttributeAllocationsAndRss) {
+  set_alloc_stats_enabled(true);
+  {
+    Span span{"allocating"};
+    std::vector<char> block(2 << 20);
+    block[0] = 1;
+    EXPECT_EQ(block[0], 1);
+  }
+  const std::vector<TraceEvent> events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].alloc_bytes, 2u << 20);
+  EXPECT_GE(events[0].alloc_count, 1u);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(events[0].peak_rss_bytes, 0u);
+#endif
+}
+
+TEST_F(SpanResourceTest, AggregateSumsResourceColumnsByPath) {
+  set_alloc_stats_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    Span outer{"phase"};
+    Span inner{"step"};
+    std::vector<char> block(1 << 16);
+    block[0] = 1;
+    EXPECT_EQ(block[0], 1);
+  }
+  const TraceAggregate aggregate = Tracer::instance().aggregate_by_path();
+  ASSERT_EQ(aggregate.spans.size(), 2u);
+  EXPECT_EQ(aggregate.spans[0].path, "phase");
+  EXPECT_EQ(aggregate.spans[1].path, "phase/step");
+  EXPECT_EQ(aggregate.spans[0].count, 3u);
+  EXPECT_GE(aggregate.spans[1].alloc_bytes, 3u << 16);
+  // The outer span covers the inner's window, so its deltas dominate.
+  EXPECT_GE(aggregate.spans[0].alloc_bytes, aggregate.spans[1].alloc_bytes);
+}
+
+// ------------------------------------------------------------ run report ---
+
+class RunReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().reset();
+    Tracer::instance().enable();
+    metrics_reset_all();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().reset();
+    metrics_reset_all();
+  }
+};
+
+TEST_F(RunReportTest, BuildsSchemaVersionedParseableJson) {
+  RunReporter& reporter = RunReporter::instance();
+  reporter.set_config("seed", 2026);
+  reporter.set_config("graph_n", std::uint64_t{12345});
+  reporter.set_config("label", "unit \"test\"\n");
+  reporter.set_config("fraction", 0.25);
+  reporter.set_config("flag", true);
+  count("report.test.counter", 7);
+  set_gauge("report.test.gauge", 1.5);
+  observe("report.test.histogram", 4.0);
+  { Span span{"report phase"}; }
+
+  std::ostringstream out;
+  reporter.write(out);
+  // The emitted document must satisfy our own strict parser.
+  const json::Value doc = json::Value::parse(out.str());
+
+  EXPECT_EQ(doc.find("schema_version")->as_int(), kRunReportSchemaVersion);
+  EXPECT_TRUE(doc.find("tool")->is_string());
+
+  const json::Value* config = doc.find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->find("seed")->as_int(), 2026);
+  EXPECT_EQ(config->find("graph_n")->as_int(), 12345);
+  EXPECT_EQ(config->find("label")->as_string(), "unit \"test\"\n");
+  EXPECT_DOUBLE_EQ(config->find("fraction")->as_number(), 0.25);
+  EXPECT_TRUE(config->find("flag")->as_bool());
+  // Auto-filled runtime knobs.
+  EXPECT_GE(config->find("threads")->as_int(), 1);
+  EXPECT_GT(config->find("scale")->as_number(), 0.0);
+
+  const json::Value* totals = doc.find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_GE(totals->find("wall_ms")->as_number(), 0.0);
+  for (const char* key : {"user_cpu_ms", "system_cpu_ms", "cpu_ms",
+                          "peak_rss_bytes", "alloc_bytes", "alloc_count"})
+    ASSERT_NE(totals->find(key), nullptr) << key;
+
+  const json::Value* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  bool found = false;
+  for (const json::Value& row : spans->as_array()) {
+    if (row.find("path")->as_string() != "report phase") continue;
+    found = true;
+    EXPECT_EQ(row.find("count")->as_int(), 1);
+    for (const char* key :
+         {"wall_ms", "cpu_ms", "alloc_bytes", "alloc_count"})
+      ASSERT_NE(row.find(key), nullptr) << key;
+  }
+  EXPECT_TRUE(found);
+
+  const json::Value* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("counters")->find("report.test.counter")->as_int(),
+            7);
+  EXPECT_DOUBLE_EQ(
+      metrics->find("gauges")->find("report.test.gauge")->as_number(), 1.5);
+  const json::Value* histogram =
+      metrics->find("histograms")->find("report.test.histogram");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->find("count")->as_int(), 1);
+  EXPECT_DOUBLE_EQ(histogram->find("min")->as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(histogram->find("max")->as_number(), 4.0);
+}
+
+TEST_F(RunReportTest, EmptyHistogramOmitsUnencodableMinMax) {
+  Metrics::instance().histogram("report.empty.histogram");
+  std::ostringstream out;
+  RunReporter::instance().write(out);
+  const json::Value doc = json::Value::parse(out.str());
+  const json::Value* histogram =
+      doc.find("metrics")->find("histograms")->find("report.empty.histogram");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->find("count")->as_int(), 0);
+  // +/-inf have no JSON encoding; the empty-histogram contract omits them.
+  EXPECT_EQ(histogram->find("min"), nullptr);
+  EXPECT_EQ(histogram->find("max"), nullptr);
+}
+
+TEST_F(RunReportTest, HostileSpanNamesSurviveTheReport) {
+  {
+    Span span{"span \"with\"\nhostile \\ name ☃"};
+  }
+  std::ostringstream out;
+  RunReporter::instance().write(out);
+  const json::Value doc = json::Value::parse(out.str());
+  bool found = false;
+  for (const json::Value& row : doc.find("spans")->as_array())
+    if (row.find("path")->as_string() == "span \"with\"\nhostile \\ name ☃")
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RunReportTest, ConfigLastWriteWins) {
+  RunReporter& reporter = RunReporter::instance();
+  reporter.set_config("threads", 3);
+  reporter.set_config("threads", 5);
+  std::ostringstream out;
+  reporter.write(out);
+  const json::Value doc = json::Value::parse(out.str());
+  EXPECT_EQ(doc.find("config")->find("threads")->as_int(), 5);
+}
+
+}  // namespace
+}  // namespace sntrust::obs

@@ -1,0 +1,138 @@
+// sntrust_benchdiff: regression gate over the JSON run reports the obs
+// layer emits (SNTRUST_REPORT / --report; schema in obs/run_report.hpp).
+//
+//   sntrust_benchdiff [options] <baseline.json> <candidate.json>
+//       Aligns the two reports by span path, prints a regression table
+//       (regressions first), and exits 1 when any span or total breaches
+//       its threshold — CI wires this between a committed baseline and the
+//       fresh run, humans point it at any two reports.
+//   sntrust_benchdiff --summary <report.json>...
+//       Prints a one-line totals summary across the given reports
+//       (scripts/run_all.sh ends with this).
+//
+// Options:
+//   --threshold-pct <p>       per-span wall regression gate (default 25)
+//   --total-threshold-pct <p> totals wall gate (default 15)
+//   --rss-threshold-pct <p>   peak-RSS gate (default 50)
+//   --min-wall-ms <ms>        ignore spans below this in both runs (default 5)
+//   --cpu                     also gate span/total cpu_ms
+//   --warn-only               print the table but always exit 0
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report/run_compare.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using namespace sntrust;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  sntrust_benchdiff [options] <baseline.json> <candidate.json>\n"
+         "  sntrust_benchdiff --summary <report.json>...\n"
+         "options:\n"
+         "  --threshold-pct <p>        span wall regression gate "
+         "(default 25)\n"
+         "  --total-threshold-pct <p>  totals wall gate (default 15)\n"
+         "  --rss-threshold-pct <p>    peak-RSS gate (default 50)\n"
+         "  --min-wall-ms <ms>         noise floor for spans (default 5)\n"
+         "  --cpu                      also gate cpu_ms\n"
+         "  --warn-only                report regressions but exit 0\n";
+  return 2;
+}
+
+int cmd_summary(const std::vector<std::string>& paths) {
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+  double peak_rss = 0.0;
+  double alloc_bytes = 0.0;
+  std::uint64_t alloc_count = 0;
+  for (const std::string& path : paths) {
+    const RunReportData report = load_run_report(path);
+    auto total = [&report](const char* key) {
+      const auto found = report.totals.find(key);
+      return found == report.totals.end() ? 0.0 : found->second;
+    };
+    wall_ms += total("wall_ms");
+    cpu_ms += total("cpu_ms");
+    peak_rss = std::max(peak_rss, total("peak_rss_bytes"));
+    alloc_bytes += total("alloc_bytes");
+    alloc_count += static_cast<std::uint64_t>(total("alloc_count"));
+  }
+  std::cout << paths.size() << " report" << (paths.size() == 1 ? "" : "s")
+            << ": wall " << fixed(wall_ms / 1000.0, 1) << " s, cpu "
+            << fixed(cpu_ms / 1000.0, 1) << " s, peak rss "
+            << fixed(peak_rss / (1024.0 * 1024.0), 1) << " MB, allocs "
+            << with_thousands(alloc_count) << " ("
+            << fixed(alloc_bytes / (1024.0 * 1024.0), 1) << " MB)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    DiffOptions options;
+    bool warn_only = false;
+    bool summary = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next_double = [&](double& out) {
+        if (i + 1 >= argc) return false;
+        out = std::atof(argv[++i]);
+        return true;
+      };
+      if (arg == "--threshold-pct") {
+        if (!next_double(options.span_threshold_pct)) return usage();
+      } else if (arg == "--total-threshold-pct") {
+        if (!next_double(options.total_threshold_pct)) return usage();
+      } else if (arg == "--rss-threshold-pct") {
+        if (!next_double(options.rss_threshold_pct)) return usage();
+      } else if (arg == "--min-wall-ms") {
+        if (!next_double(options.min_wall_ms)) return usage();
+      } else if (arg == "--cpu") {
+        options.gate_cpu = true;
+      } else if (arg == "--warn-only") {
+        warn_only = true;
+      } else if (arg == "--summary") {
+        summary = true;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "unknown flag: " << arg << "\n";
+        return usage();
+      } else {
+        paths.push_back(arg);
+      }
+    }
+
+    if (summary) {
+      if (paths.empty()) return usage();
+      return cmd_summary(paths);
+    }
+    if (paths.size() != 2) return usage();
+
+    const RunReportData baseline = load_run_report(paths[0]);
+    const RunReportData candidate = load_run_report(paths[1]);
+    std::cout << "baseline:  " << paths[0] << " (" << baseline.tool << ")\n"
+              << "candidate: " << paths[1] << " (" << candidate.tool
+              << ")\n\n";
+    const DiffResult result = diff_run_reports(baseline, candidate, options);
+    diff_table(result).print(std::cout);
+    if (result.breached) {
+      std::cout << (warn_only
+                        ? "\nregression thresholds breached (warn-only)\n"
+                        : "\nregression thresholds breached\n");
+      return warn_only ? 0 : 1;
+    }
+    std::cout << "\nno regressions past thresholds\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+}

@@ -21,6 +21,10 @@
 //   --threads <n>        Worker threads for the per-source sweeps (same as
 //                        SNTRUST_THREADS; 1 = serial). Results are
 //                        identical for any value.
+//   --report <out.json>  Write the unified JSON run report (config, metrics
+//                        snapshot, per-span wall/cpu/alloc table, totals) at
+//                        exit. SNTRUST_REPORT=<path> does the same for any
+//                        binary; diff two reports with sntrust_benchdiff.
 // Progress lines for long sweeps appear on stderr with SNTRUST_PROGRESS=1.
 #include <cstdlib>
 #include <iostream>
@@ -32,6 +36,7 @@
 #include "graph/components.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
+#include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/csv_sink.hpp"
@@ -55,7 +60,9 @@ int usage() {
                "  --trace <out.json>   write a Chrome trace-event JSON of "
                "the run\n"
                "  --threads <n>        worker threads for the measurement "
-               "sweeps (1 = serial)\n";
+               "sweeps (1 = serial)\n"
+               "  --report <out.json>  write the unified JSON run report "
+               "at exit\n";
   return 2;
 }
 
@@ -95,6 +102,13 @@ int cmd_measure(const std::string& path, std::uint32_t sources) {
             << " m=" << with_thousands(g.num_edges())
             << " (largest component of " << with_thousands(raw.num_vertices())
             << ")\n";
+
+  obs::RunReporter& reporter = obs::RunReporter::instance();
+  reporter.set_config("command", "measure");
+  reporter.set_config("edgelist", path);
+  reporter.set_config("graph_n", g.num_vertices());
+  reporter.set_config("graph_m", g.num_edges());
+  reporter.set_config("mixing_sources", sources);
 
   PropertySuiteOptions options;
   options.mixing_sources = sources;
@@ -136,6 +150,13 @@ int cmd_measure(const std::string& path, std::uint32_t sources) {
 int cmd_attack(const std::string& path, VertexId sybils,
                std::uint32_t attack_edges) {
   const Graph g = largest_component(read_edge_list_file(path)).graph;
+  obs::RunReporter& reporter = obs::RunReporter::instance();
+  reporter.set_config("command", "attack");
+  reporter.set_config("edgelist", path);
+  reporter.set_config("graph_n", g.num_vertices());
+  reporter.set_config("graph_m", g.num_edges());
+  reporter.set_config("sybils", sybils);
+  reporter.set_config("attack_edges", attack_edges);
   AttackParams attack;
   attack.num_sybils = sybils;
   attack.attack_edges = attack_edges;
@@ -182,7 +203,8 @@ int cmd_attack(const std::string& path, VertexId sybils,
 
 int main(int argc, char** argv) {
   try {
-    // Peel the global --trace / --threads flags off before dispatching.
+    // Peel the global --trace / --threads / --report flags off before
+    // dispatching.
     std::vector<std::string> args;
     std::string trace_path;
     for (int i = 1; i < argc; ++i) {
@@ -197,6 +219,13 @@ int main(int argc, char** argv) {
         const int threads = std::atoi(argv[++i]);
         if (threads <= 0) return usage();
         parallel::set_thread_count(static_cast<std::uint32_t>(threads));
+        continue;
+      }
+      if (arg == "--report") {
+        if (i + 1 >= argc) return usage();
+        // Arms the atexit export (and enables the tracer so the report's
+        // span table is populated).
+        obs::RunReporter::instance().set_export_path(argv[++i]);
         continue;
       }
       args.push_back(arg);
