@@ -1,0 +1,169 @@
+// Frontier-sparse vs dense kernel microbench for the mixing measurement.
+//
+// The sampling method evolves point-mass distributions, whose support stays
+// tiny for the first many steps; the frontier-sparse kernel only touches
+// support-adjacent rows while the dense kernel gathers all n rows every
+// step. This bench times the short-walk mixing sweep (the paper's regime:
+// TVD curves are read off at small t) under each kernel mode on the largest
+// slow-mixing bench analogue, verifies all modes produce bitwise identical
+// curves, locates the auto-mode crossover step, and prints one JSON object.
+//
+// Run with SNTRUST_REPORT=<path> to emit the unified run report (the
+// committed bench/baselines comparisons are produced this way).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "markov/frontier.hpp"
+#include "markov/mixing.hpp"
+
+namespace {
+
+using namespace sntrust;
+
+MixingOptions sweep_options(KernelMode mode, std::uint32_t sources,
+                            std::uint32_t length) {
+  MixingOptions options;
+  options.num_sources = sources;
+  options.max_walk_length = length;
+  options.seed = bench::kBenchSeed;
+  options.kernel = mode;
+  return options;
+}
+
+struct ModeTiming {
+  double ms = 0.0;
+  MixingCurves curves;
+};
+
+ModeTiming time_mode(const Graph& g, KernelMode mode, std::uint32_t sources,
+                     std::uint32_t length, int reps = 1) {
+  // Repetitions take the minimum wall time: the sweep is deterministic, so
+  // the fastest rep is the least-perturbed one on a noisy host.
+  ModeTiming timing;
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::Stopwatch clock;
+    timing.curves = measure_mixing(g, sweep_options(mode, sources, length));
+    const double ms = clock.elapsed_ms();
+    if (rep == 0 || ms < timing.ms) timing.ms = ms;
+  }
+  return timing;
+}
+
+bool bitwise_equal(const MixingCurves& a, const MixingCurves& b) {
+  return a.sources == b.sources && a.tvd == b.tvd;
+}
+
+}  // namespace
+
+int main() {
+  // The slow-mixing community analogues keep walk supports small for the
+  // longest, which is exactly where the sparse kernel pays off; dblp is the
+  // largest of them in the bench set (its frontier stays below the dense
+  // threshold through step ~9 of the short-walk sweep). The fast-mixing
+  // analogues cross over within a handful of steps — select them via
+  // SNTRUST_KERNEL_BENCH_DATASET to see the auto kernel degrade gracefully.
+  const Graph g = [&] {
+    const bench::Section section{"generate"};
+    return dataset_by_id(env_string("SNTRUST_KERNEL_BENCH_DATASET", "dblp"))
+        .generate(bench::dataset_scale(), bench::kBenchSeed);
+  }();
+  std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
+            << "\n\n";
+
+  constexpr std::uint32_t kSources = 24;
+  constexpr std::uint32_t kShortWalk = 10;
+
+  // Warm the graph and stationary-distribution caches so leg order does not
+  // bias the comparison.
+  (void)time_mode(g, KernelMode::kAuto, 2, 2);
+
+  // One report span per kernel leg: the emitted run report then carries the
+  // dense-vs-sparse short-walk comparison on its own (see bench/baselines).
+  ModeTiming dense, sparse, automatic;
+  {
+    const bench::Section section{"short-walk sweep [dense]"};
+    dense = time_mode(g, KernelMode::kDense, kSources, kShortWalk, 3);
+  }
+  {
+    const bench::Section section{"short-walk sweep [sparse]"};
+    sparse = time_mode(g, KernelMode::kSparse, kSources, kShortWalk, 3);
+  }
+  {
+    const bench::Section section{"short-walk sweep [auto]"};
+    automatic = time_mode(g, KernelMode::kAuto, kSources, kShortWalk, 3);
+  }
+  const bool identical = bitwise_equal(dense.curves, sparse.curves) &&
+                         bitwise_equal(dense.curves, automatic.curves);
+
+  // Speedup as a function of walk length: the sparse advantage decays as the
+  // support saturates, which is what the auto crossover exploits.
+  std::vector<std::uint32_t> lengths{2, 5, 10, 20, 40};
+  std::vector<double> by_length_dense, by_length_auto;
+  {
+    const bench::Section section{"speedup by walk length (dense vs auto)"};
+    for (const std::uint32_t length : lengths) {
+      by_length_dense.push_back(
+          time_mode(g, KernelMode::kDense, 8, length, 2).ms);
+      by_length_auto.push_back(time_mode(g, KernelMode::kAuto, 8, length, 2).ms);
+    }
+  }
+
+  // Auto-mode crossover: first step whose candidate frontier degree crosses
+  // the dense threshold, walked from the sweep's first sampled source.
+  std::uint32_t crossover = 0;
+  double crossover_fraction = 0.0;
+  {
+    const bench::Section section{"crossover point"};
+    FrontierWalk walk{g, {KernelMode::kAuto, kernel_dense_fraction()}};
+    walk.reset(dense.curves.sources.front());
+    for (std::uint32_t t = 1; t <= 64; ++t) {
+      walk.step(StepKind::kPlain);
+      if (walk.last_step_dense() || walk.saturated()) {
+        crossover = t;
+        crossover_fraction =
+            static_cast<double>(walk.last_frontier_degree()) /
+            static_cast<double>(g.targets().size());
+        break;
+      }
+    }
+  }
+
+  obs::RunReporter& reporter = obs::RunReporter::instance();
+  reporter.set_config("bench", "micro_kernels");
+  reporter.set_config("graph_n", g.num_vertices());
+  reporter.set_config("graph_m", g.num_edges());
+  reporter.set_config("kernel_threshold", kernel_dense_fraction());
+
+  const double speedup_sparse = sparse.ms > 0.0 ? dense.ms / sparse.ms : 0.0;
+  const double speedup_auto =
+      automatic.ms > 0.0 ? dense.ms / automatic.ms : 0.0;
+  reporter.set_config("speedup_sparse", speedup_sparse);
+  reporter.set_config("speedup_auto", speedup_auto);
+  reporter.set_config("identical", identical);
+  std::printf("{\n  \"bench\": \"micro_kernels\",\n");
+  std::printf("  \"n\": %u, \"m\": %llu,\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  std::printf(
+      "  \"short_walk\": {\"sources\": %u, \"max_walk_length\": %u,\n"
+      "    \"dense_ms\": %.2f, \"sparse_ms\": %.2f, \"auto_ms\": %.2f,\n"
+      "    \"speedup_sparse\": %.2f, \"speedup_auto\": %.2f},\n",
+      kSources, kShortWalk, dense.ms, sparse.ms, automatic.ms, speedup_sparse,
+      speedup_auto);
+  std::printf("  \"by_walk_length\": [");
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    const double speedup = by_length_auto[i] > 0.0
+                               ? by_length_dense[i] / by_length_auto[i]
+                               : 0.0;
+    std::printf("%s{\"t\": %u, \"dense_ms\": %.2f, \"auto_ms\": %.2f, "
+                "\"speedup\": %.2f}",
+                i == 0 ? "" : ", ", lengths[i], by_length_dense[i],
+                by_length_auto[i], speedup);
+  }
+  std::printf("],\n");
+  std::printf("  \"crossover\": {\"step\": %u, \"frontier_fraction\": %.4f},\n",
+              crossover, crossover_fraction);
+  std::printf("  \"identical\": %s\n}\n", identical ? "true" : "false");
+  return identical ? 0 : 1;
+}

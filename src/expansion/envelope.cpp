@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "graph/traversal.hpp"
+#include "graph/frontier_bfs.hpp"
 #include "obs/metrics.hpp"
 
 namespace sntrust {
@@ -30,7 +30,13 @@ EnvelopeProfile envelope_from_levels(
 }
 
 EnvelopeProfile envelope_profile(const Graph& g, VertexId source) {
-  const BfsResult result = bfs(g, source);
+  FrontierBfs runner{g};
+  return envelope_profile(g, source, runner);
+}
+
+EnvelopeProfile envelope_profile(const Graph&, VertexId source,
+                                 FrontierBfs& runner) {
+  const BfsResult& result = runner.run(source);
   static obs::Counter& envelopes = obs::metrics_counter("expansion.envelopes");
   envelopes.add(1);
   static obs::Histogram& depth = obs::metrics_histogram("expansion.bfs_depth");

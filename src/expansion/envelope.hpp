@@ -15,6 +15,8 @@
 
 namespace sntrust {
 
+class FrontierBfs;
+
 /// Expansion profile rooted at one source vertex.
 struct EnvelopeProfile {
   VertexId source = 0;
@@ -28,8 +30,14 @@ struct EnvelopeProfile {
   std::vector<double> alpha;
 };
 
-/// BFS-based envelope profile from `source`.
+/// BFS-based envelope profile from `source`. Runs one direction-optimizing
+/// BFS (graph/frontier_bfs.hpp) over the whole graph.
 EnvelopeProfile envelope_profile(const Graph& g, VertexId source);
+
+/// Same, reusing a caller-owned BFS workspace: sweeps over many sources skip
+/// the per-call O(n) workspace construction.
+EnvelopeProfile envelope_profile(const Graph& g, VertexId source,
+                                 FrontierBfs& runner);
 
 /// Builds an envelope profile from precomputed BFS level sizes (shared with
 /// BfsRunner so sweeps over all sources reuse one workspace).

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "graph/components.hpp"
-#include "graph/traversal.hpp"
+#include "graph/frontier_bfs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -61,10 +61,10 @@ ExpansionProfile measure_expansion(const Graph& g,
   obs::ProgressMeter progress{"expansion sources",
                               static_cast<std::uint64_t>(sources.size())};
 
-  // Per-worker state: a reusable BFS runner plus a private envelope
-  // accumulator map, merged in worker order after the sweep.
+  // Per-worker state: a reusable direction-optimizing BFS workspace plus a
+  // private envelope accumulator map, merged in worker order after the sweep.
   struct WorkerState {
-    std::vector<BfsRunner> runner;  // 0 or 1 entries; lazily constructed
+    std::vector<FrontierBfs> runner;  // 0 or 1 entries; lazily constructed
     std::map<std::uint64_t, Accumulator> by_size;
     std::uint32_t max_depth = 0;
   };

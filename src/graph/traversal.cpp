@@ -1,70 +1,21 @@
 #include "graph/traversal.hpp"
 
-#include <stdexcept>
+#include "graph/frontier_bfs.hpp"
 
 namespace sntrust {
 
 BfsResult bfs(const Graph& g, VertexId source) {
-  BfsRunner runner{g};
-  return runner.run(source);  // copies via NRVO of the stored result
+  FrontierBfs runner{g};
+  return runner.run(source);  // copies the stored result out
 }
 
 BfsRunner::BfsRunner(const Graph& g)
-    : graph_(g), epoch_seen_(g.num_vertices(), 0) {
-  queue_.reserve(g.num_vertices());
-  result_.distances.assign(g.num_vertices(), kUnreachable);
-}
+    : impl_(std::make_unique<FrontierBfs>(g)) {}
 
-const BfsResult& BfsRunner::run(VertexId source) {
-  if (source >= graph_.num_vertices())
-    throw std::out_of_range("BfsRunner::run: source out of range");
-  ++epoch_;
-  if (epoch_ == 0) {  // wrapped: clear markers and restart epochs
-    std::fill(epoch_seen_.begin(), epoch_seen_.end(), 0);
-    epoch_ = 1;
-  }
+BfsRunner::~BfsRunner() = default;
+BfsRunner::BfsRunner(BfsRunner&&) noexcept = default;
+BfsRunner& BfsRunner::operator=(BfsRunner&&) noexcept = default;
 
-  result_.source = source;
-  result_.level_sizes.clear();
-  result_.reached = 0;
-
-  const auto& offsets = graph_.offsets();
-  const auto& targets = graph_.targets();
-
-  queue_.clear();
-  queue_.push_back(source);
-  epoch_seen_[source] = epoch_;
-  result_.distances[source] = 0;
-
-  std::size_t level_begin = 0;
-  std::uint32_t depth = 0;
-  while (level_begin < queue_.size()) {
-    const std::size_t level_end = queue_.size();
-    result_.level_sizes.push_back(level_end - level_begin);
-    for (std::size_t qi = level_begin; qi < level_end; ++qi) {
-      const VertexId u = queue_[qi];
-      for (EdgeIndex i = offsets[u]; i < offsets[u + 1]; ++i) {
-        const VertexId w = targets[i];
-        if (epoch_seen_[w] != epoch_) {
-          epoch_seen_[w] = epoch_;
-          result_.distances[w] = depth + 1;
-          queue_.push_back(w);
-        }
-      }
-    }
-    level_begin = level_end;
-    ++depth;
-  }
-
-  result_.reached = queue_.size();
-  result_.eccentricity =
-      static_cast<std::uint32_t>(result_.level_sizes.size() - 1);
-  // Mark unreached vertices lazily: distances[] still holds stale values from
-  // previous runs for them, so fix them up only for callers that read the
-  // whole array. Cheap single pass.
-  for (VertexId v = 0; v < graph_.num_vertices(); ++v)
-    if (epoch_seen_[v] != epoch_) result_.distances[v] = kUnreachable;
-  return result_;
-}
+const BfsResult& BfsRunner::run(VertexId source) { return impl_->run(source); }
 
 }  // namespace sntrust

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -29,23 +30,27 @@ struct BfsResult {
 /// Full BFS from `source`. Throws std::out_of_range for a bad source.
 BfsResult bfs(const Graph& g, VertexId source);
 
+class FrontierBfs;
+
 /// Reusable BFS workspace: avoids reallocating the distance array when many
 /// sources are swept over the same graph (the expansion measurement does one
-/// BFS per vertex).
+/// BFS per vertex). Since the frontier-kernel work this delegates to the
+/// direction-optimizing FrontierBfs (graph/frontier_bfs.hpp); the BfsResult
+/// contract is unchanged because distances, level sizes and reach counts are
+/// level-synchronous invariants independent of traversal direction.
 class BfsRunner {
  public:
   explicit BfsRunner(const Graph& g);
+  ~BfsRunner();
+  BfsRunner(BfsRunner&&) noexcept;
+  BfsRunner& operator=(BfsRunner&&) noexcept;
 
   /// Runs BFS from `source`; the returned reference is invalidated by the
   /// next run() call.
   const BfsResult& run(VertexId source);
 
  private:
-  const Graph& graph_;
-  std::vector<std::uint32_t> epoch_seen_;  // epoch marking instead of reset
-  std::uint32_t epoch_ = 0;
-  std::vector<VertexId> queue_;
-  BfsResult result_;
+  std::unique_ptr<FrontierBfs> impl_;
 };
 
 }  // namespace sntrust

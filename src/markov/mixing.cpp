@@ -4,7 +4,6 @@
 #include <stdexcept>
 
 #include "graph/components.hpp"
-#include "markov/transition.hpp"
 #include "markov/walker.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -49,27 +48,32 @@ MixingCurves measure_mixing(const Graph& g, const MixingOptions& options) {
   out.sources = rng.sample_without_replacement(n, k);
 
   const Distribution pi = stationary_distribution(g);
+  const StationaryPrefix prefix{pi};
+  const FrontierWalk::Options kernel{
+      options.kernel.value_or(kernel_mode()),
+      options.kernel_dense_fraction.value_or(kernel_dense_fraction())};
+  const StepKind kind = options.lazy ? StepKind::kLazy : StepKind::kPlain;
   // One curve slot per source position: workers write disjoint slots, so
-  // the result is bitwise identical for any thread count.
+  // the result is bitwise identical for any thread count. The kernel mode
+  // never changes the values either (see markov/frontier.hpp), only how
+  // much of the graph each step touches.
   out.tvd.assign(k, {});
   obs::ProgressMeter progress{"mixing sources", k};
   struct Scratch {
-    Distribution p, buffer;
+    std::vector<FrontierWalk> walk;  // 0 or 1 entries; lazily constructed
   };
   std::vector<Scratch> scratch(parallel::plan_workers(k));
   parallel::parallel_for(0, k, [&](std::size_t i, std::uint32_t worker) {
     Scratch& s = scratch[worker];
-    s.p.assign(n, 0.0);
-    s.p[out.sources[i]] = 1.0;
-    if (s.buffer.size() != n) s.buffer.assign(n, 0.0);
+    if (s.walk.empty()) s.walk.emplace_back(g, kernel);
+    FrontierWalk& walk = s.walk.front();
+    walk.reset(out.sources[i]);
     std::vector<double> curve;
     curve.reserve(options.max_walk_length + 1);
-    curve.push_back(total_variation(s.p, pi));
+    curve.push_back(walk.tvd(pi, prefix));
     for (std::uint32_t t = 1; t <= options.max_walk_length; ++t) {
-      if (options.lazy) step_distribution_lazy(g, s.p, s.buffer);
-      else step_distribution(g, s.p, s.buffer);
-      s.p.swap(s.buffer);
-      curve.push_back(total_variation(s.p, pi));
+      walk.step(kind);
+      curve.push_back(walk.tvd(pi, prefix));
     }
     out.tvd[i] = std::move(curve);
     progress.tick();

@@ -5,16 +5,19 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "markov/distribution.hpp"
+#include "markov/frontier.hpp"
 
 namespace sntrust {
 
 struct MixingOptions {
   /// Number of source vertices sampled uniformly at random (the paper uses
-  /// 100; the cost is one O(m) matvec per source per step).
+  /// 100; the cost is one matvec per source per step — frontier-sparse for
+  /// short walks, O(m) once the support saturates).
   std::uint32_t num_sources = 100;
   /// Maximum walk length to evolve.
   std::uint32_t max_walk_length = 100;
@@ -22,6 +25,14 @@ struct MixingOptions {
   /// near-bipartite graphs. The paper's plots use the plain chain.
   bool lazy = false;
   std::uint64_t seed = 1;
+  /// Kernel selection for the distribution evolution; unset inherits the
+  /// process-wide mode (SNTRUST_KERNEL / set_kernel_mode). Every mode is
+  /// bitwise identical — this only trades bookkeeping for touched edges.
+  std::optional<KernelMode> kernel;
+  /// Auto-mode dense crossover as a fraction of 2m; unset inherits
+  /// SNTRUST_KERNEL_THRESHOLD. 0 forces dense gathers from the first step,
+  /// +infinity keeps the sparse pull until the support saturates.
+  std::optional<double> kernel_dense_fraction;
 };
 
 /// TVD-vs-walk-length curves for a set of sources.

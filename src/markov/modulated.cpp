@@ -3,18 +3,58 @@
 #include <stdexcept>
 
 #include "graph/components.hpp"
+#include "markov/frontier.hpp"
 #include "markov/transition.hpp"
+#include "parallel/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
+
+namespace {
+
+/// Rows per worker chunk, matching the transition.cpp matvecs.
+constexpr std::size_t kMatvecGrain = 2048;
+
+/// One parallel gather pass with the write expression fused in, so the
+/// trust-modulated steps no longer pay a second serial O(n) blend pass.
+template <typename Write>
+void gather_rows(const Graph& g, const Distribution& p, Distribution& out,
+                 const Write& write) {
+  const auto& offsets = g.offsets();
+  const auto& targets = g.targets();
+  parallel::parallel_for(
+      0, g.num_vertices(),
+      [&](std::size_t v, std::uint32_t) {
+        double acc = 0.0;
+        for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i) {
+          const VertexId w = targets[i];
+          if (p[w] == 0.0) continue;
+          acc += p[w] / static_cast<double>(offsets[w + 1] - offsets[w]);
+        }
+        out[v] = write(v, acc);
+      },
+      kMatvecGrain);
+}
+
+void check_step_args(const Graph& g, const Distribution& p,
+                     const Distribution& out, const char* who) {
+  if (p.size() != g.num_vertices())
+    throw std::invalid_argument(std::string{who} + ": size mismatch");
+  if (&p == &out)
+    throw std::invalid_argument(std::string{who} + ": out must not alias p");
+}
+
+}  // namespace
 
 void step_modulated(const Graph& g, const Distribution& p, Distribution& out,
                     double alpha) {
   if (alpha < 0.0 || alpha >= 1.0)
     throw std::invalid_argument("step_modulated: alpha must be in [0,1)");
-  step_distribution(g, p, out);
-  for (VertexId v = 0; v < g.num_vertices(); ++v)
-    out[v] = alpha * p[v] + (1.0 - alpha) * out[v];
+  check_step_args(g, p, out, "step_modulated");
+  out.resize(g.num_vertices());
+  gather_rows(g, p, out, [&](std::size_t v, double acc) {
+    return alpha * p[v] + (1.0 - alpha) * acc;
+  });
 }
 
 void step_originator_biased(const Graph& g, const Distribution& p,
@@ -25,8 +65,10 @@ void step_originator_biased(const Graph& g, const Distribution& p,
         "step_originator_biased: alpha must be in [0,1)");
   if (originator >= g.num_vertices())
     throw std::out_of_range("step_originator_biased: originator out of range");
-  step_distribution(g, p, out);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) out[v] *= 1.0 - alpha;
+  check_step_args(g, p, out, "step_originator_biased");
+  out.resize(g.num_vertices());
+  gather_rows(g, p, out,
+              [&](std::size_t, double acc) { return acc * (1.0 - alpha); });
   out[originator] += alpha;
 }
 
@@ -67,26 +109,27 @@ std::uint32_t modulated_mixing_time(const Graph& g, double alpha,
   const std::vector<VertexId> sources =
       rng.sample_without_replacement(g.num_vertices(), k);
   const Distribution pi = stationary_distribution(g);
+  const StationaryPrefix prefix{pi};
 
-  // Evolve all sources in lockstep and report the first t where the worst
-  // source is within epsilon.
-  std::vector<Distribution> states;
-  states.reserve(k);
-  for (const VertexId s : sources) states.push_back(dirac(g.num_vertices(), s));
-  Distribution buffer(g.num_vertices());
+  // Evolve all sources in lockstep on frontier walks (the modulated chain
+  // retains mass in place, so the support grows like the lazy chain) and
+  // report the first t where the worst source is within epsilon.
+  std::vector<FrontierWalk> walks;
+  walks.reserve(k);
+  for (const VertexId s : sources) {
+    walks.emplace_back(g);
+    walks.back().reset(s);
+  }
 
   const auto worst = [&]() {
     double value = 0.0;
-    for (const Distribution& p : states)
-      value = std::max(value, total_variation(p, pi));
+    for (const FrontierWalk& walk : walks)
+      value = std::max(value, walk.tvd(pi, prefix));
     return value;
   };
   if (worst() <= epsilon) return 0;
   for (std::uint32_t t = 1; t <= max_walk_length; ++t) {
-    for (Distribution& p : states) {
-      step_modulated(g, p, buffer, alpha);
-      p.swap(buffer);
-    }
+    for (FrontierWalk& walk : walks) walk.step(StepKind::kModulated, alpha);
     if (worst() <= epsilon) return t;
   }
   return 0xFFFFFFFFu;

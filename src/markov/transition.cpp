@@ -43,9 +43,29 @@ void step_distribution(const Graph& g, const Distribution& p,
 
 void step_distribution_lazy(const Graph& g, const Distribution& p,
                             Distribution& out) {
-  step_distribution(g, p, out);
-  for (VertexId v = 0; v < g.num_vertices(); ++v)
-    out[v] = 0.5 * out[v] + 0.5 * p[v];
+  const VertexId n = g.num_vertices();
+  if (p.size() != n)
+    throw std::invalid_argument("step_distribution_lazy: size mismatch");
+  if (&p == &out)
+    throw std::invalid_argument("step_distribution_lazy: out must not alias p");
+  out.resize(n);
+  const auto& offsets = g.offsets();
+  const auto& targets = g.targets();
+  // Lazy blend folded into the gather: one parallel row pass instead of a
+  // gather followed by a second serial O(n) blend. The expression matches
+  // the old two-pass result bitwise (0.5 * acc + 0.5 * p[v]).
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t v, std::uint32_t) {
+        double acc = 0.0;
+        for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i) {
+          const VertexId w = targets[i];
+          if (p[w] == 0.0) continue;
+          acc += p[w] / static_cast<double>(offsets[w + 1] - offsets[w]);
+        }
+        out[v] = 0.5 * acc + 0.5 * p[v];
+      },
+      kMatvecGrain);
 }
 
 void evolve(const Graph& g, Distribution& p, std::uint32_t steps, bool lazy) {

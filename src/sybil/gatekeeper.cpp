@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "graph/traversal.hpp"
+#include "graph/frontier_bfs.hpp"
 #include "markov/walker.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -88,13 +88,22 @@ TicketRun distribute_tickets(const Graph& g, VertexId source,
 
 TicketRun adaptive_distribute(const Graph& g, VertexId source,
                               double reach_fraction) {
+  FrontierBfs runner{g};
+  return adaptive_distribute(g, source, reach_fraction, runner);
+}
+
+TicketRun adaptive_distribute(const Graph& g, VertexId source,
+                              double reach_fraction, FrontierBfs& runner) {
   if (reach_fraction <= 0.0 || reach_fraction > 1.0)
     throw std::invalid_argument(
         "adaptive_distribute: reach_fraction must be in (0,1]");
   const auto target = static_cast<std::uint64_t>(
       std::ceil(reach_fraction * g.num_vertices()));
   const std::uint64_t cap = 64ull * g.num_vertices() + 64;
-  const BfsResult levels = bfs(g, source);
+  // The level DAG is all the ticket flood needs; one direction-optimizing
+  // BFS serves every doubling attempt. The reference stays valid because
+  // distribute_tickets never touches the runner.
+  const BfsResult& levels = runner.run(source);
   std::uint64_t tickets = 2;
   TicketRun run = distribute_tickets(g, source, tickets, levels);
   while (run.vertices_reached < target && tickets < cap) {
@@ -154,20 +163,28 @@ GateKeeperResult run_gatekeeper(const Graph& g, VertexId controller,
   const VertexId n = g.num_vertices();
   const std::uint32_t workers =
       parallel::plan_workers(out.distributers.size());
-  std::vector<std::vector<std::uint32_t>> partial(workers);
+  struct WorkerState {
+    std::vector<std::uint32_t> admissions;
+    std::vector<FrontierBfs> runner;  // 0 or 1 entries; lazily constructed
+  };
+  std::vector<WorkerState> partial(workers);
   parallel::parallel_for(
       0, out.distributers.size(), [&](std::size_t i, std::uint32_t worker) {
-        std::vector<std::uint32_t>& admissions = partial[worker];
-        if (admissions.empty()) admissions.assign(n, 0);
-        const TicketRun run = adaptive_distribute(g, out.distributers[i],
-                                                  params.reach_fraction);
+        WorkerState& state = partial[worker];
+        if (state.admissions.empty()) {
+          state.admissions.assign(n, 0);
+          state.runner.emplace_back(g);
+        }
+        const TicketRun run =
+            adaptive_distribute(g, out.distributers[i],
+                                params.reach_fraction, state.runner.front());
         for (VertexId v = 0; v < n; ++v)
-          if (run.reached[v]) ++admissions[v];
+          if (run.reached[v]) ++state.admissions[v];
         progress.tick();
       });
-  for (const std::vector<std::uint32_t>& admissions : partial) {
-    if (admissions.empty()) continue;
-    for (VertexId v = 0; v < n; ++v) out.admissions[v] += admissions[v];
+  for (const WorkerState& state : partial) {
+    if (state.admissions.empty()) continue;
+    for (VertexId v = 0; v < n; ++v) out.admissions[v] += state.admissions[v];
   }
   return out;
 }

@@ -23,6 +23,8 @@
 
 namespace sntrust {
 
+class FrontierBfs;
+
 struct GateKeeperParams {
   std::uint32_t num_distributers = 99;  ///< Table II samples 99
   double f_admit = 0.1;                 ///< admission fraction f
@@ -59,9 +61,15 @@ TicketRun distribute_tickets(const Graph& g, VertexId source,
                              const BfsResult& levels);
 
 /// Runs distribute_tickets with doubling until `reach_fraction` of the
-/// graph is reached (or the budget exceeds 64 * n, whichever first).
+/// graph is reached (or the budget exceeds 64 * n, whichever first). The
+/// level DAG comes from one direction-optimizing BFS per call.
 TicketRun adaptive_distribute(const Graph& g, VertexId source,
                               double reach_fraction);
+
+/// As above, reusing a caller-owned BFS workspace; run_gatekeeper keeps one
+/// per pool worker so the distributer sweep never re-allocates BFS state.
+TicketRun adaptive_distribute(const Graph& g, VertexId source,
+                              double reach_fraction, FrontierBfs& runner);
 
 /// Full GateKeeper admission decision for every vertex.
 struct GateKeeperResult {

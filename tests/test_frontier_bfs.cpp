@@ -1,0 +1,138 @@
+#include "graph/frontier_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <queue>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::disconnected_graph;
+using testing::path_graph;
+using testing::petersen_graph;
+using testing::star_graph;
+using testing::two_cliques;
+
+/// Independent reference BFS (plain FIFO queue) — the free bfs() now
+/// delegates to FrontierBfs, so the oracle must not.
+BfsResult reference_bfs(const Graph& g, VertexId source) {
+  BfsResult r;
+  r.source = source;
+  r.distances.assign(g.num_vertices(), kUnreachable);
+  r.distances[source] = 0;
+  std::vector<VertexId> queue{source};
+  std::size_t level_begin = 0;
+  std::uint32_t depth = 0;
+  while (level_begin < queue.size()) {
+    const std::size_t level_end = queue.size();
+    r.level_sizes.push_back(level_end - level_begin);
+    for (std::size_t qi = level_begin; qi < level_end; ++qi)
+      for (const VertexId w : g.neighbors(queue[qi]))
+        if (r.distances[w] == kUnreachable) {
+          r.distances[w] = depth + 1;
+          queue.push_back(w);
+        }
+    level_begin = level_end;
+    ++depth;
+  }
+  r.reached = queue.size();
+  r.eccentricity = static_cast<std::uint32_t>(r.level_sizes.size() - 1);
+  return r;
+}
+
+void expect_same_result(const BfsResult& got, const BfsResult& want) {
+  EXPECT_EQ(got.source, want.source);
+  EXPECT_EQ(got.distances, want.distances);
+  EXPECT_EQ(got.level_sizes, want.level_sizes);
+  EXPECT_EQ(got.eccentricity, want.eccentricity);
+  EXPECT_EQ(got.reached, want.reached);
+}
+
+std::vector<Graph> seed_graphs() {
+  std::vector<Graph> graphs;
+  graphs.push_back(path_graph(12));
+  graphs.push_back(cycle_graph(9));
+  graphs.push_back(star_graph(11));
+  graphs.push_back(complete_graph(7));
+  graphs.push_back(two_cliques(5));
+  graphs.push_back(petersen_graph());
+  graphs.push_back(disconnected_graph());
+  return graphs;
+}
+
+TEST(FrontierBfs, MatchesReferenceOnSeedGraphs) {
+  for (const Graph& g : seed_graphs()) {
+    FrontierBfs runner{g};
+    for (VertexId s = 0; s < g.num_vertices(); ++s)
+      expect_same_result(runner.run(s), reference_bfs(g, s));
+  }
+}
+
+TEST(FrontierBfs, MatchesReferenceOnGeneratedGraph) {
+  const Graph g = largest_component(barabasi_albert(500, 3, 23)).graph;
+  FrontierBfs runner{g};
+  for (VertexId s = 0; s < g.num_vertices(); s += 37)
+    expect_same_result(runner.run(s), reference_bfs(g, s));
+}
+
+TEST(FrontierBfs, ForcedBottomUpMatchesReference) {
+  // Huge alpha switches to bottom-up at the first level; huge beta never
+  // switches back. The direction only changes which edges are inspected.
+  const FrontierBfs::Options options{~0ull, ~0ull};
+  for (const Graph& g : seed_graphs()) {
+    FrontierBfs runner{g, options};
+    for (VertexId s = 0; s < g.num_vertices(); ++s)
+      expect_same_result(runner.run(s), reference_bfs(g, s));
+  }
+}
+
+TEST(FrontierBfs, ForcedTopDownMatchesReference) {
+  const FrontierBfs::Options options{0, 24};
+  const Graph g = largest_component(powerlaw_cluster(300, 3, 0.3, 5)).graph;
+  FrontierBfs runner{g, options};
+  for (VertexId s = 0; s < g.num_vertices(); s += 29)
+    expect_same_result(runner.run(s), reference_bfs(g, s));
+}
+
+TEST(FrontierBfs, ReusableAcrossSourcesAndComponents) {
+  const Graph g = disconnected_graph();
+  FrontierBfs runner{g};
+  const BfsResult& from0 = runner.run(0);
+  EXPECT_EQ(from0.reached, 3u);
+  EXPECT_EQ(from0.distances[4], kUnreachable);
+  const BfsResult& from3 = runner.run(3);
+  EXPECT_EQ(from3.reached, 2u);
+  EXPECT_EQ(from3.distances[0], kUnreachable);
+  EXPECT_EQ(from3.distances[4], 1u);
+  const BfsResult& isolated = runner.run(5);
+  EXPECT_EQ(isolated.reached, 1u);
+  EXPECT_EQ(isolated.eccentricity, 0u);
+}
+
+TEST(FrontierBfs, ManyRunsKeepEpochsConsistent) {
+  const Graph g = cycle_graph(6);
+  FrontierBfs runner{g};
+  for (int round = 0; round < 50; ++round) {
+    const BfsResult& r = runner.run(round % 6);
+    EXPECT_EQ(r.reached, 6u);
+    const auto total = std::accumulate(r.level_sizes.begin(),
+                                       r.level_sizes.end(), std::uint64_t{0});
+    EXPECT_EQ(total, r.reached);
+  }
+}
+
+TEST(FrontierBfs, BadSourceThrows) {
+  const Graph g = path_graph(3);
+  FrontierBfs runner{g};
+  EXPECT_THROW(runner.run(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sntrust

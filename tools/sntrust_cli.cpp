@@ -21,6 +21,11 @@
 //   --threads <n>        Worker threads for the per-source sweeps (same as
 //                        SNTRUST_THREADS; 1 = serial). Results are
 //                        identical for any value.
+//   --kernel <mode>      Distribution-evolution kernel: auto | dense |
+//                        sparse (same as SNTRUST_KERNEL). All modes give
+//                        bitwise-identical results; auto starts with the
+//                        frontier-sparse pull and switches to dense gathers
+//                        once the frontier covers most of the graph.
 //   --report <out.json>  Write the unified JSON run report (config, metrics
 //                        snapshot, per-span wall/cpu/alloc table, totals) at
 //                        exit. SNTRUST_REPORT=<path> does the same for any
@@ -36,6 +41,7 @@
 #include "graph/components.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
+#include "markov/frontier.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -61,6 +67,8 @@ int usage() {
                "the run\n"
                "  --threads <n>        worker threads for the measurement "
                "sweeps (1 = serial)\n"
+               "  --kernel <mode>      distribution kernel: auto | dense | "
+               "sparse (bitwise identical)\n"
                "  --report <out.json>  write the unified JSON run report "
                "at exit\n";
   return 2;
@@ -219,6 +227,14 @@ int main(int argc, char** argv) {
         const int threads = std::atoi(argv[++i]);
         if (threads <= 0) return usage();
         parallel::set_thread_count(static_cast<std::uint32_t>(threads));
+        continue;
+      }
+      if (arg == "--kernel") {
+        if (i + 1 >= argc) return usage();
+        const auto mode = parse_kernel_mode(argv[++i]);
+        if (!mode) return usage();
+        set_kernel_mode(*mode);
+        obs::RunReporter::instance().set_config("kernel", to_string(*mode));
         continue;
       }
       if (arg == "--report") {
