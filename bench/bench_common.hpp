@@ -6,9 +6,12 @@
 // >1 to push closer to the paper's raw sizes).
 #pragma once
 
+#include <functional>
 #include <iostream>
 #include <string>
 
+#include "exec/cancel.hpp"
+#include "exec/sweep.hpp"
 #include "gen/datasets.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
@@ -49,5 +52,28 @@ class Section {
   obs::Span span_;
   obs::Stopwatch stopwatch_;
 };
+
+/// Standard bench entry point: installs the cooperative SIGINT/SIGTERM
+/// handlers (and the SNTRUST_DEADLINE_MS deadline), runs `body`, and maps
+/// the exec-layer outcomes to sysexits-style codes — 75 for an interrupted
+/// or degraded run (the checkpoint, if armed, holds the completed sources
+/// and the SNTRUST_REPORT artifact still fires at exit), 1 for anything
+/// else. Wrap main as `return sntrust::bench::guarded_main([] { ...; return
+/// 0; });`.
+inline int guarded_main(const std::function<int()>& body) {
+  exec::install_signal_handlers();
+  try {
+    return body();
+  } catch (const exec::CancelledError& error) {
+    std::cerr << "interrupted: " << error.what() << "\n";
+    return 75;
+  } catch (const exec::PartialFailureError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 75;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
 
 }  // namespace sntrust::bench

@@ -38,7 +38,7 @@ void run_panel(const std::string& title,
 
 }  // namespace
 
-int main() {
+static int run_bench() {
   run_panel("Figure 1(a): mixing of small/medium datasets (mean TVD, 10 sources)",
             sntrust::figure1_small_ids(), 100);
   run_panel("Figure 1(b): mixing of large datasets (mean TVD, 10 sources)",
@@ -48,3 +48,5 @@ int main() {
                "paper's fast/slow split.\n";
   return 0;
 }
+
+int main() { return sntrust::bench::guarded_main(run_bench); }

@@ -37,7 +37,7 @@ void run_panel(const std::string& title,
 
 }  // namespace
 
-int main() {
+static int run_bench() {
   run_panel("Figure 2(a): coreness ECDF, small datasets",
             sntrust::figure2_small_ids());
   run_panel("Figure 2(b): coreness ECDF, large datasets",
@@ -47,3 +47,5 @@ int main() {
                "at small k.\n";
   return 0;
 }
+
+int main() { return sntrust::bench::guarded_main(run_bench); }

@@ -8,7 +8,7 @@
 #include "report/table.hpp"
 #include "util/format.hpp"
 
-int main() {
+static int run_bench() {
   using namespace sntrust;
   bench::Section section{
       "Figure 3: envelope expansion (neighbours vs set size)"};
@@ -46,3 +46,5 @@ int main() {
                "swallows the graph; fast mixers peak higher and earlier.\n";
   return 0;
 }
+
+int main() { return sntrust::bench::guarded_main(run_bench); }

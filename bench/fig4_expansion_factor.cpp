@@ -48,7 +48,7 @@ void run_panel(const std::string& title,
 
 }  // namespace
 
-int main() {
+static int run_bench() {
   run_panel("Figure 4(a): expected expansion factor, small datasets",
             {"physics_1", "physics_2", "physics_3", "rice_grad"});
   run_panel("Figure 4(b): expected expansion factor, medium datasets",
@@ -59,3 +59,5 @@ int main() {
                "— expansion is 'a scale of' the mixing measurement.\n";
   return 0;
 }
+
+int main() { return sntrust::bench::guarded_main(run_bench); }

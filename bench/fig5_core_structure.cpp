@@ -6,7 +6,7 @@
 #include "cores/core_profile.hpp"
 #include "report/series.hpp"
 
-int main() {
+static int run_bench() {
   using namespace sntrust;
 
   SeriesSet sizes{"k"};
@@ -41,3 +41,5 @@ int main() {
                "k grows.\n";
   return 0;
 }
+
+int main() { return sntrust::bench::guarded_main(run_bench); }

@@ -13,7 +13,7 @@
 #include "report/table.hpp"
 #include "util/format.hpp"
 
-int main() {
+static int run_bench() {
   using namespace sntrust;
   bench::Section section{"Companion: betweenness distribution per class"};
 
@@ -70,3 +70,5 @@ int main() {
                "of SimBet routing.\n";
   return 0;
 }
+
+int main() { return sntrust::bench::guarded_main(run_bench); }

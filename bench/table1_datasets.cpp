@@ -13,7 +13,7 @@
 #include "report/table.hpp"
 #include "util/format.hpp"
 
-int main() {
+static int run_bench() {
   using namespace sntrust;
   bench::Section section{"Table I: dataset inventory and SLEM (mu)"};
 
@@ -36,3 +36,5 @@ int main() {
                "mu ~= 1; weak-trust (fast) analogues sit clearly lower.\n";
   return 0;
 }
+
+int main() { return sntrust::bench::guarded_main(run_bench); }

@@ -10,7 +10,7 @@
 #include "sybil/gatekeeper.hpp"
 #include "util/format.hpp"
 
-int main() {
+static int run_bench() {
   using namespace sntrust;
   bench::Section section{
       "Table II: GateKeeper honest/Sybil acceptance, 99 distributers"};
@@ -64,3 +64,5 @@ int main() {
                "below the unfiltered Sybil/edge ratio.\n";
   return 0;
 }
+
+int main() { return sntrust::bench::guarded_main(run_bench); }

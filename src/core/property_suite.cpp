@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "cores/kcore.hpp"
+#include "exec/cancel.hpp"
 #include "graph/components.hpp"
 #include "graph/stats.hpp"
 #include "obs/metrics.hpp"
@@ -42,6 +43,7 @@ PropertyReport measure_properties(const Graph& g,
     report.diameter_lb = double_sweep_diameter(g);
   }
 
+  exec::process_token().check();  // phase boundary
   {  // Spectral side.
     const obs::Span span{"spectral"};
     SlemOptions slem_options;
@@ -52,6 +54,7 @@ PropertyReport measure_properties(const Graph& g,
           sinclair_bounds(report.slem.mu, report.epsilon, g.num_vertices());
   }
 
+  exec::process_token().check();  // phase boundary
   {  // Sampling side.
     const obs::Span span{"mixing"};
     MixingOptions mixing_options;
@@ -65,6 +68,7 @@ PropertyReport measure_properties(const Graph& g,
     report.mixing_time = mixing_time_estimate(report.mixing, report.epsilon);
   }
 
+  exec::process_token().check();  // phase boundary
   {  // Cores.
     const obs::Span span{"cores"};
     const CoreDecomposition cores = core_decomposition(g);
@@ -78,6 +82,7 @@ PropertyReport measure_properties(const Graph& g,
     }
   }
 
+  exec::process_token().check();  // phase boundary
   {  // Expansion.
     const obs::Span span{"expansion"};
     ExpansionOptions expansion_options;

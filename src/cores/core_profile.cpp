@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#include "exec/checkpoint.hpp"
+#include "exec/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/json.hpp"
+
 namespace sntrust {
 
 std::vector<CoreLevel> core_profile(const Graph& g) {
@@ -18,55 +23,96 @@ std::vector<CoreLevel> core_profile(const Graph& g,
   const auto& offsets = g.offsets();
   const auto& targets = g.targets();
 
-  // Reusable scratch: component labels via epoch marking per level.
-  std::vector<std::uint32_t> label(n);
-  std::vector<VertexId> queue;
-  queue.reserve(n);
+  // One independent level per k in [1, degeneracy], swept across the pool.
+  // Per-worker scratch: component labels via epoch marking plus a BFS queue.
+  struct Scratch {
+    std::vector<std::uint32_t> label;
+    std::vector<VertexId> queue;
+  };
+  std::vector<Scratch> scratch(parallel::plan_workers(d.degeneracy));
+
+  exec::SweepOptions sweep;
+  sweep.kind = "core_profile";
+  sweep.fault_site = "cores";
+  sweep.token = exec::process_token();
+  sweep.fingerprint = exec::fingerprint(
+      {n, g.num_edges(), d.degeneracy, exec::graph_fingerprint(g)});
+  const exec::SweepResult swept = exec::run_sweep(
+      d.degeneracy, sweep, [&](std::size_t idx, std::uint32_t worker) {
+        const std::uint32_t k = static_cast<std::uint32_t>(idx) + 1;
+        Scratch& s = scratch[worker];
+        if (s.label.size() != n) {
+          s.label.assign(n, 0u);
+          s.queue.reserve(n);
+        }
+
+        // Count vertices and edges inside the core in one adjacency sweep.
+        std::uint64_t vertices = 0;
+        std::uint64_t half_edges = 0;
+        for (VertexId v = 0; v < n; ++v) {
+          if (d.coreness[v] < k) continue;
+          ++vertices;
+          for (EdgeIndex e = offsets[v]; e < offsets[v + 1]; ++e)
+            if (d.coreness[targets[e]] >= k) ++half_edges;
+        }
+
+        // Connected components restricted to the core.
+        std::fill(s.label.begin(), s.label.end(), 0u);
+        std::uint32_t next_label = 0;
+        std::uint64_t largest = 0;
+        for (VertexId start = 0; start < n; ++start) {
+          if (d.coreness[start] < k || s.label[start] != 0) continue;
+          ++next_label;
+          std::uint64_t size = 0;
+          s.queue.clear();
+          s.queue.push_back(start);
+          s.label[start] = next_label;
+          std::size_t head = 0;
+          while (head < s.queue.size()) {
+            const VertexId u = s.queue[head++];
+            ++size;
+            for (EdgeIndex e = offsets[u]; e < offsets[u + 1]; ++e) {
+              const VertexId w = targets[e];
+              if (d.coreness[w] >= k && s.label[w] == 0) {
+                s.label[w] = next_label;
+                s.queue.push_back(w);
+              }
+            }
+          }
+          largest = std::max(largest, size);
+        }
+
+        // Integer payload only; the derived ratios (nu, tau) are recomputed
+        // at decode time with the exact expressions used before, so resumed
+        // and fresh levels are bitwise identical.
+        json::Array row;
+        row.push_back(
+            json::Value::integer(static_cast<std::int64_t>(vertices)));
+        row.push_back(
+            json::Value::integer(static_cast<std::int64_t>(half_edges / 2)));
+        row.push_back(
+            json::Value::integer(static_cast<std::int64_t>(next_label)));
+        row.push_back(
+            json::Value::integer(static_cast<std::int64_t>(largest)));
+        return json::Value::array(std::move(row)).dump();
+      });
 
   levels.reserve(d.degeneracy);
-  for (std::uint32_t k = 1; k <= d.degeneracy; ++k) {
+  for (std::size_t idx = 0; idx < swept.payloads.size(); ++idx) {
+    if (swept.payloads[idx].empty()) continue;  // degraded: level skipped
+    const json::Value row = json::Value::parse(swept.payloads[idx]);
+    const json::Array& fields = row.as_array();
     CoreLevel level;
-    level.k = k;
-
-    // Count vertices and edges inside the core in one adjacency sweep.
-    std::uint64_t half_edges = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      if (d.coreness[v] < k) continue;
-      ++level.vertices;
-      for (EdgeIndex e = offsets[v]; e < offsets[v + 1]; ++e)
-        if (d.coreness[targets[e]] >= k) ++half_edges;
-    }
-    level.edges = half_edges / 2;
+    level.k = static_cast<std::uint32_t>(idx) + 1;
+    level.vertices = static_cast<std::uint64_t>(fields.at(0).as_int());
+    level.edges = static_cast<std::uint64_t>(fields.at(1).as_int());
+    level.num_components = static_cast<std::uint32_t>(fields.at(2).as_int());
+    level.largest_component =
+        static_cast<std::uint64_t>(fields.at(3).as_int());
     level.nu = static_cast<double>(level.vertices) / n;
     level.tau = edge_total == 0.0
                     ? 0.0
                     : static_cast<double>(level.edges) / edge_total;
-
-    // Connected components restricted to the core.
-    std::fill(label.begin(), label.end(), 0u);
-    std::uint32_t next_label = 0;
-    for (VertexId s = 0; s < n; ++s) {
-      if (d.coreness[s] < k || label[s] != 0) continue;
-      ++next_label;
-      std::uint64_t size = 0;
-      queue.clear();
-      queue.push_back(s);
-      label[s] = next_label;
-      std::size_t head = 0;
-      while (head < queue.size()) {
-        const VertexId u = queue[head++];
-        ++size;
-        for (EdgeIndex e = offsets[u]; e < offsets[u + 1]; ++e) {
-          const VertexId w = targets[e];
-          if (d.coreness[w] >= k && label[w] == 0) {
-            label[w] = next_label;
-            queue.push_back(w);
-          }
-        }
-      }
-      level.largest_component = std::max(level.largest_component, size);
-    }
-    level.num_components = next_label;
     levels.push_back(level);
   }
   return levels;

@@ -1,0 +1,258 @@
+#include "exec/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/env.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust::exec {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", static_cast<unsigned>(v));
+  return buf;
+}
+
+std::string sweep_key(const std::string& kind, std::uint64_t fingerprint) {
+  return kind + ":" + hex64(fingerprint);
+}
+
+void warn(const std::string& message) {
+  std::fputs(("SNTRUST_CHECKPOINT: " + message + "\n").c_str(), stderr);
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::string& data) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const unsigned char byte : data)
+    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+std::uint64_t fingerprint(std::initializer_list<std::uint64_t> words) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t w : words) h = stream_seed(h, w);
+  return h;
+}
+
+CheckpointStore& CheckpointStore::instance() {
+  static CheckpointStore store;
+  return store;
+}
+
+CheckpointStore::CheckpointStore()
+    : path_(env_string("SNTRUST_CHECKPOINT", "")) {}
+
+void CheckpointStore::set_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  path_ = std::move(path);
+  loaded_ = false;
+  sweeps_.clear();
+}
+
+std::string CheckpointStore::path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return path_;
+}
+
+bool CheckpointStore::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !path_.empty();
+}
+
+void CheckpointStore::reset_for_tests() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  path_ = env_string("SNTRUST_CHECKPOINT", "");
+  loaded_ = false;
+  sweeps_.clear();
+}
+
+void CheckpointStore::load_locked() {
+  loaded_ = true;
+  sweeps_.clear();
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // no checkpoint yet: fresh run
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return;
+
+  json::Value doc;
+  try {
+    doc = json::Value::parse(text);
+  } catch (const std::exception& e) {
+    warn("ignoring unparseable checkpoint '" + path_ + "' (" + e.what() +
+         "); starting fresh");
+    return;
+  }
+  const json::Value* version = doc.find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->as_int() != kCheckpointSchemaVersion) {
+    warn("ignoring checkpoint '" + path_ +
+         "' with unknown schema version; starting fresh");
+    return;
+  }
+  const json::Value* sweeps = doc.find("sweeps");
+  const json::Value* crc = doc.find("crc32");
+  if (sweeps == nullptr || !sweeps->is_object() || crc == nullptr ||
+      !crc->is_string()) {
+    warn("ignoring malformed checkpoint '" + path_ + "'; starting fresh");
+    return;
+  }
+  if (hex32(crc32(sweeps->dump())) != crc->as_string()) {
+    warn("ignoring checkpoint '" + path_ +
+         "' with CRC mismatch (truncated or corrupt); starting fresh");
+    return;
+  }
+
+  for (const auto& [key, entry_value] : sweeps->as_object()) {
+    if (!entry_value.is_object()) continue;
+    const json::Value* fp = entry_value.find("fingerprint");
+    const json::Value* items = entry_value.find("items");
+    const json::Value* completed = entry_value.find("completed");
+    if (fp == nullptr || !fp->is_string() || items == nullptr ||
+        !items->is_number() || items->as_int() < 0 || completed == nullptr ||
+        !completed->is_object())
+      continue;
+    Entry entry;
+    try {
+      std::size_t used = 0;
+      entry.fingerprint = std::stoull(fp->as_string(), &used, 16);
+      if (used != fp->as_string().size()) continue;
+    } catch (const std::exception&) {
+      continue;
+    }
+    entry.items = static_cast<std::uint64_t>(items->as_int());
+    for (const auto& [index_text, payload] : completed->as_object()) {
+      std::uint64_t index = 0;
+      try {
+        std::size_t used = 0;
+        index = std::stoull(index_text, &used);
+        if (used != index_text.size()) continue;
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (index >= entry.items) continue;
+      // Re-dump from the parsed document so resumed consumers see exactly
+      // the bytes a fresh compute would have produced (util/json round-trips
+      // doubles via shortest-form to_chars).
+      entry.completed[index] = payload.dump();
+    }
+    sweeps_[key] = std::move(entry);
+  }
+}
+
+void CheckpointStore::write_locked() const {
+  json::Object sweeps;
+  for (const auto& [key, entry] : sweeps_) {
+    json::Object completed;
+    for (const auto& [index, payload] : entry.completed)
+      completed.emplace_back(std::to_string(index),
+                             json::Value::parse(payload));
+    json::Object entry_members;
+    entry_members.emplace_back("fingerprint",
+                               json::Value::string(hex64(entry.fingerprint)));
+    entry_members.emplace_back(
+        "items",
+        json::Value::integer(static_cast<std::int64_t>(entry.items)));
+    entry_members.emplace_back("completed",
+                               json::Value::object(std::move(completed)));
+    sweeps.emplace_back(key, json::Value::object(std::move(entry_members)));
+  }
+  json::Value sweeps_value = json::Value::object(std::move(sweeps));
+  const std::string sweeps_text = sweeps_value.dump();
+
+  json::Object doc;
+  doc.emplace_back("schema_version",
+                   json::Value::integer(kCheckpointSchemaVersion));
+  doc.emplace_back("sweeps", std::move(sweeps_value));
+  doc.emplace_back("crc32", json::Value::string(hex32(crc32(sweeps_text))));
+  const std::string text = json::Value::object(std::move(doc)).dump();
+
+  // Atomic replace: write a sibling temp file, flush it all the way to disk,
+  // then rename over the target. A crash at any point leaves either the old
+  // checkpoint or the new one, never a torn file.
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    warn("cannot open '" + tmp + "' for writing; checkpoint skipped");
+    return;
+  }
+  bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
+            std::fwrite("\n", 1, 1, out) == 1;
+  ok = std::fflush(out) == 0 && ok;
+  ok = ::fsync(fileno(out)) == 0 && ok;
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    warn("failed to write checkpoint '" + path_ + "'");
+    std::remove(tmp.c_str());
+  }
+}
+
+std::uint64_t CheckpointStore::restore(const std::string& kind,
+                                       std::uint64_t fingerprint,
+                                       std::uint64_t items,
+                                       std::vector<std::string>& payloads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty()) return 0;
+  if (!loaded_) load_locked();
+  const auto it = sweeps_.find(sweep_key(kind, fingerprint));
+  if (it == sweeps_.end()) return 0;
+  const Entry& entry = it->second;
+  if (entry.fingerprint != fingerprint || entry.items != items) return 0;
+  std::uint64_t restored = 0;
+  for (const auto& [index, payload] : entry.completed) {
+    if (index >= payloads.size()) continue;
+    payloads[index] = payload;
+    ++restored;
+  }
+  return restored;
+}
+
+void CheckpointStore::save(const std::string& kind, std::uint64_t fingerprint,
+                           std::uint64_t items,
+                           const std::vector<std::string>& payloads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty()) return;
+  if (!loaded_) load_locked();  // keep unrelated sweeps already on disk
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.items = items;
+  for (std::size_t i = 0; i < payloads.size(); ++i)
+    if (!payloads[i].empty()) entry.completed[i] = payloads[i];
+  sweeps_[sweep_key(kind, fingerprint)] = std::move(entry);
+  write_locked();
+}
+
+}  // namespace sntrust::exec

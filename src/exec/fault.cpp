@@ -1,0 +1,128 @@
+#include "exec/fault.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+
+#include "exec/cancel.hpp"
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust::exec {
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_sigterm_fired{false};
+std::mutex g_plan_mutex;
+FaultPlan g_plan;
+std::once_flag g_env_once;
+
+void load_env_plan() {
+  const std::string spec = env_string("SNTRUST_FAULT", "");
+  if (spec.empty()) return;
+  const std::optional<FaultPlan> plan = parse_fault_plan(spec);
+  if (plan) {
+    set_fault_plan(*plan);
+  } else {
+    std::fputs(("SNTRUST_FAULT: ignoring malformed spec '" + spec + "'\n")
+                   .c_str(),
+               stderr);
+  }
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> parse_fault_plan(const std::string& spec) {
+  // <site>:<seed>:<prob>[:<action>]
+  const std::size_t first = spec.find(':');
+  if (first == std::string::npos || first == 0) return std::nullopt;
+  const std::size_t second = spec.find(':', first + 1);
+  if (second == std::string::npos) return std::nullopt;
+  const std::size_t third = spec.find(':', second + 1);
+
+  FaultPlan plan;
+  plan.site = spec.substr(0, first);
+  const std::string seed_text = spec.substr(first + 1, second - first - 1);
+  const std::string prob_text =
+      third == std::string::npos ? spec.substr(second + 1)
+                                 : spec.substr(second + 1, third - second - 1);
+  try {
+    std::size_t used = 0;
+    plan.seed = std::stoull(seed_text, &used);
+    if (used != seed_text.size()) return std::nullopt;
+    plan.prob = std::stod(prob_text, &used);
+    if (used != prob_text.size()) return std::nullopt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!(plan.prob >= 0.0 && plan.prob <= 1.0)) return std::nullopt;
+  if (third != std::string::npos) {
+    const std::string action = spec.substr(third + 1);
+    if (action == "throw") plan.action = FaultPlan::Action::kThrow;
+    else if (action == "sigterm") plan.action = FaultPlan::Action::kSigterm;
+    else return std::nullopt;
+  }
+  return plan;
+}
+
+void set_fault_plan(const FaultPlan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    g_plan = plan;
+  }
+  g_sigterm_fired.store(false, std::memory_order_relaxed);
+  g_armed.store(plan.armed(), std::memory_order_release);
+}
+
+void clear_fault_plan() { set_fault_plan(FaultPlan{}); }
+
+FaultPlan fault_plan() {
+  std::call_once(g_env_once, load_env_plan);
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  return g_plan;
+}
+
+void fault_point(const char* site, std::uint64_t index) {
+  std::call_once(g_env_once, load_env_plan);
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  FaultPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    plan = g_plan;
+  }
+  if (!plan.armed()) return;
+  if (plan.site != "all" && plan.site != site) return;
+  // Deterministic trial: the same (plan, site, index) fires identically in
+  // every run, independent of threading or call order.
+  const std::uint64_t mixed =
+      stream_seed(plan.seed ^ fnv1a(plan.site == "all" ? site : plan.site),
+                  index);
+  const double roll =
+      static_cast<double>(mixed >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  if (roll >= plan.prob) return;
+  obs::count("exec.faults_fired", 1);
+  if (plan.action == FaultPlan::Action::kSigterm) {
+    // Fire once: the cooperative handler restores SIG_DFL after the first
+    // delivery, so a second raise would hard-kill the process.
+    if (!g_sigterm_fired.exchange(true, std::memory_order_relaxed)) {
+      install_signal_handlers();
+      std::raise(SIGTERM);
+    }
+    return;
+  }
+  throw InjectedFault(std::string("injected fault at ") + site + ":" +
+                      std::to_string(index));
+}
+
+}  // namespace sntrust::exec

@@ -5,12 +5,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "exec/checkpoint.hpp"
+#include "exec/sweep.hpp"
 #include "graph/components.hpp"
 #include "graph/frontier_bfs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -61,33 +64,59 @@ ExpansionProfile measure_expansion(const Graph& g,
   obs::ProgressMeter progress{"expansion sources",
                               static_cast<std::uint64_t>(sources.size())};
 
-  // Per-worker state: a reusable direction-optimizing BFS workspace plus a
-  // private envelope accumulator map, merged in worker order after the sweep.
+  // Per-worker state: a reusable direction-optimizing BFS workspace. The
+  // per-source result is the BFS level-size vector, serialized as the sweep
+  // payload; aggregation happens serially afterwards in index order, so a
+  // resumed run folds exactly the same integers in exactly the same order.
   struct WorkerState {
     std::vector<FrontierBfs> runner;  // 0 or 1 entries; lazily constructed
-    std::map<std::uint64_t, Accumulator> by_size;
-    std::uint32_t max_depth = 0;
   };
   const std::uint32_t workers = parallel::plan_workers(sources.size());
   std::vector<WorkerState> states(workers);
 
-  parallel::parallel_for(0, sources.size(), [&](std::size_t i,
-                                                std::uint32_t worker) {
-    WorkerState& state = states[worker];
-    if (state.runner.empty()) state.runner.emplace_back(g);
-    const BfsResult& result = state.runner.front().run(sources[i]);
-    bfs_runs.add(1);
-    progress.tick();
-    const auto& levels = result.level_sizes;
-    for (const std::uint64_t level_size : levels)
-      frontier.observe(static_cast<double>(level_size));
-    state.max_depth = std::max(
-        state.max_depth, static_cast<std::uint32_t>(levels.size() - 1));
+  exec::SweepOptions sweep;
+  sweep.kind = "measure_expansion";
+  sweep.fault_site = "expansion";
+  sweep.token = exec::process_token();
+  sweep.fingerprint = exec::fingerprint(
+      {n, g.num_edges(), sources.size(), options.num_sources, options.seed,
+       exec::graph_fingerprint(g)});
+  const exec::SweepResult swept = exec::run_sweep(
+      sources.size(), sweep, [&](std::size_t i, std::uint32_t worker) {
+        WorkerState& state = states[worker];
+        if (state.runner.empty()) state.runner.emplace_back(g);
+        const BfsResult& result = state.runner.front().run(sources[i]);
+        bfs_runs.add(1);
+        progress.tick();
+        json::Array levels;
+        levels.reserve(result.level_sizes.size());
+        for (const std::uint64_t level_size : result.level_sizes) {
+          frontier.observe(static_cast<double>(level_size));
+          levels.push_back(
+              json::Value::integer(static_cast<std::int64_t>(level_size)));
+        }
+        return json::Value::array(std::move(levels)).dump();
+      });
+
+  ExpansionProfile out;
+  std::map<std::uint64_t, Accumulator> by_size;
+  std::uint32_t sources_used = 0;
+  for (const std::string& payload : swept.payloads) {
+    if (payload.empty()) continue;  // failed source: dropped from aggregate
+    ++sources_used;
+    const json::Value value = json::Value::parse(payload);
+    std::vector<std::uint64_t> levels;
+    levels.reserve(value.as_array().size());
+    for (const json::Value& v : value.as_array())
+      levels.push_back(static_cast<std::uint64_t>(v.as_int()));
+    if (levels.empty()) continue;
+    out.max_depth = std::max(out.max_depth,
+                             static_cast<std::uint32_t>(levels.size() - 1));
     std::uint64_t envelope = 0;
     for (std::size_t j = 0; j + 1 < levels.size(); ++j) {
       envelope += levels[j];
       const std::uint64_t neighbors = levels[j + 1];
-      Accumulator& acc = state.by_size[envelope];
+      Accumulator& acc = by_size[envelope];
       if (acc.count == 0) {
         acc.min = acc.max = neighbors;
       } else {
@@ -97,26 +126,9 @@ ExpansionProfile measure_expansion(const Graph& g,
       acc.sum += neighbors;
       ++acc.count;
     }
-  });
-
-  ExpansionProfile out;
-  std::map<std::uint64_t, Accumulator> by_size;
-  for (const WorkerState& state : states) {
-    out.max_depth = std::max(out.max_depth, state.max_depth);
-    for (const auto& [size, partial] : state.by_size) {
-      Accumulator& acc = by_size[size];
-      if (acc.count == 0) {
-        acc = partial;
-      } else {
-        acc.min = std::min(acc.min, partial.min);
-        acc.max = std::max(acc.max, partial.max);
-        acc.sum += partial.sum;
-        acc.count += partial.count;
-      }
-    }
   }
 
-  out.sources_used = static_cast<std::uint32_t>(sources.size());
+  out.sources_used = sources_used;
   out.points.reserve(by_size.size());
   for (const auto& [size, acc] : by_size) {
     ExpansionPoint point;

@@ -1,14 +1,18 @@
 #include "graph/io.hpp"
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
+#include "exec/fault.hpp"
 #include "graph/builder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -25,10 +29,27 @@ void write_pod(std::ostream& out, const T& value) {
 }
 
 template <typename T>
-T read_pod(std::istream& in) {
+T read_pod(std::istream& in, const std::string& path) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error("binary graph: truncated file");
+  if (!in) throw IoError("binary graph: truncated file " + path);
+  return value;
+}
+
+/// Parses one vertex-id token: digits only (a leading '-' is a malformed
+/// line, not a wrapped-around huge id), rejecting values that overflow 64
+/// bits. Every diagnostic carries the 1-based line number.
+std::uint64_t parse_vertex_id(const std::string& token, std::size_t line_no) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos)
+    throw IoError("edge list: malformed vertex id '" + token + "' at line " +
+                  std::to_string(line_no));
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size())
+    throw IoError("edge list: vertex id '" + token +
+                  "' overflows 64 bits at line " + std::to_string(line_no));
   return value;
 }
 
@@ -39,22 +60,29 @@ Graph read_edge_list(std::istream& in) {
   std::unordered_map<std::uint64_t, VertexId> id_map;
   std::vector<std::pair<VertexId, VertexId>> edges;
   std::string line;
+  std::size_t line_no = 0;
   const auto intern = [&](std::uint64_t raw) {
+    if (id_map.size() >=
+        static_cast<std::size_t>(std::numeric_limits<VertexId>::max()))
+      throw IoError("edge list: more than " +
+                    std::to_string(std::numeric_limits<VertexId>::max()) +
+                    " distinct vertices at line " + std::to_string(line_no));
     auto [it, inserted] =
         id_map.emplace(raw, static_cast<VertexId>(id_map.size()));
     return it->second;
   };
-  std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
+    exec::fault_point("io", line_no);
     std::istringstream fields{line};
-    std::uint64_t a = 0, b = 0;
-    if (!(fields >> a >> b))
-      throw std::runtime_error("edge list: malformed line " +
-                               std::to_string(line_no) + ": '" + line + "'");
-    edges.emplace_back(intern(a), intern(b));
+    std::string a, b;
+    if (!(fields >> a >> b))  // trailing fields beyond the pair are ignored
+      throw IoError("edge list: malformed line " + std::to_string(line_no) +
+                    ": '" + line + "'");
+    edges.emplace_back(intern(parse_vertex_id(a, line_no)),
+                       intern(parse_vertex_id(b, line_no)));
   }
   obs::count("io.lines_read", line_no);
   obs::count("io.edges_read", edges.size());
@@ -66,7 +94,7 @@ Graph read_edge_list(std::istream& in) {
 
 Graph read_edge_list_file(const std::string& path) {
   std::ifstream in{path};
-  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  if (!in) throw IoError("cannot open edge list: " + path);
   return read_edge_list(in);
 }
 
@@ -80,15 +108,15 @@ void write_edge_list(const Graph& g, std::ostream& out) {
 
 void write_edge_list_file(const Graph& g, const std::string& path) {
   std::ofstream out{path};
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw IoError("cannot open for writing: " + path);
   write_edge_list(g, out);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) throw IoError("write failed: " + path);
 }
 
 void write_binary_file(const Graph& g, const std::string& path) {
   const obs::Span span{"io.write_binary", "io"};
   std::ofstream out{path, std::ios::binary};
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw IoError("cannot open for writing: " + path);
   write_pod(out, kBinaryMagic);
   write_pod(out, static_cast<std::uint64_t>(g.num_vertices()));
   write_pod(out, static_cast<std::uint64_t>(g.targets().size()));
@@ -98,24 +126,44 @@ void write_binary_file(const Graph& g, const std::string& path) {
   out.write(reinterpret_cast<const char*>(g.targets().data()),
             static_cast<std::streamsize>(g.targets().size() *
                                          sizeof(VertexId)));
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) throw IoError("write failed: " + path);
 }
 
 Graph read_binary_file(const std::string& path) {
   const obs::Span span{"io.read_binary", "io"};
-  std::ifstream in{path, std::ios::binary};
-  if (!in) throw std::runtime_error("cannot open binary graph: " + path);
-  if (read_pod<std::uint64_t>(in) != kBinaryMagic)
-    throw std::runtime_error("binary graph: bad magic in " + path);
-  const auto n = read_pod<std::uint64_t>(in);
-  const auto half_edges = read_pod<std::uint64_t>(in);
+  std::ifstream in{path, std::ios::binary | std::ios::ate};
+  if (!in) throw IoError("cannot open binary graph: " + path);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0);
+  exec::fault_point("io", static_cast<std::uint64_t>(file_size));
+  if (read_pod<std::uint64_t>(in, path) != kBinaryMagic)
+    throw IoError("binary graph: bad magic in " + path);
+  const auto n = read_pod<std::uint64_t>(in, path);
+  const auto half_edges = read_pod<std::uint64_t>(in, path);
+  // Validate the header against the actual byte count before allocating
+  // anything: a corrupt or truncated header must fail cleanly, not request
+  // hundreds of gigabytes.
+  if (n > std::numeric_limits<VertexId>::max())
+    throw IoError("binary graph: vertex count " + std::to_string(n) +
+                  " overflows the 32-bit vertex id space in " + path);
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(file_size) - 3 * sizeof(std::uint64_t);
+  const std::uint64_t expected =
+      (n + 1) * sizeof(EdgeIndex) + half_edges * sizeof(VertexId);
+  if (file_size < static_cast<std::streamoff>(3 * sizeof(std::uint64_t)) ||
+      payload != expected)
+    throw IoError("binary graph: header (n=" + std::to_string(n) +
+                  ", half_edges=" + std::to_string(half_edges) +
+                  ") expects " + std::to_string(expected) +
+                  " payload bytes but file has " + std::to_string(payload) +
+                  ": " + path);
   std::vector<EdgeIndex> offsets(n + 1);
   std::vector<VertexId> targets(half_edges);
   in.read(reinterpret_cast<char*>(offsets.data()),
           static_cast<std::streamsize>(offsets.size() * sizeof(EdgeIndex)));
   in.read(reinterpret_cast<char*>(targets.data()),
           static_cast<std::streamsize>(targets.size() * sizeof(VertexId)));
-  if (!in) throw std::runtime_error("binary graph: truncated file " + path);
+  if (!in) throw IoError("binary graph: truncated file " + path);
   return Graph{std::move(offsets), std::move(targets)};  // validates
 }
 

@@ -7,15 +7,27 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/graph.hpp"
 
 namespace sntrust {
 
-/// Parses a text edge list. Vertex ids may be arbitrary (sparse) integers;
-/// they are remapped densely in first-appearance order. Self loops and
-/// duplicate edges are dropped. Throws std::runtime_error on parse errors.
+/// Input-format failure: unopenable files, malformed edge-list lines (with
+/// the 1-based line number), vertex-id overflow, and binary snapshots whose
+/// header disagrees with the file size. Derives std::runtime_error so
+/// pre-existing catch sites keep working; the CLI maps it to exit code 65
+/// (bad input) rather than 1 (internal error).
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a text edge list. Vertex ids are non-negative integers, may be
+/// arbitrary (sparse), and are remapped densely in first-appearance order;
+/// fields after the first two on a line are ignored. Self loops and
+/// duplicate edges are dropped. Throws IoError (with a line number) on
+/// malformed lines, negative ids, or ids that overflow 64 bits.
 Graph read_edge_list(std::istream& in);
 Graph read_edge_list_file(const std::string& path);
 
@@ -25,7 +37,9 @@ void write_edge_list_file(const Graph& g, const std::string& path);
 
 /// Binary CSR snapshot (magic + n + m + offsets + targets, little-endian).
 void write_binary_file(const Graph& g, const std::string& path);
-/// Loads a binary snapshot; throws std::runtime_error on malformed files.
+/// Loads a binary snapshot; throws IoError on malformed files. The header
+/// counts are validated against the actual file size *before* any array is
+/// allocated, so a corrupt header cannot trigger a huge allocation.
 Graph read_binary_file(const std::string& path);
 
 }  // namespace sntrust

@@ -3,15 +3,58 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/checkpoint.hpp"
+#include "exec/sweep.hpp"
 #include "graph/components.hpp"
 #include "markov/walker.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
+
+namespace {
+
+// Sweep payloads: one TVD curve as a JSON array. Both fresh and restored
+// curves pass through dump+parse (doubles are shortest-round-trip, so the
+// trip is bitwise lossless), which is what makes a resumed sweep aggregate
+// exactly what an uninterrupted one would.
+std::string encode_curve(const std::vector<double>& curve) {
+  json::Array items;
+  items.reserve(curve.size());
+  for (const double v : curve) items.push_back(json::Value::number(v));
+  return json::Value::array(std::move(items)).dump();
+}
+
+std::vector<double> decode_curve(const std::string& payload) {
+  const json::Value value = json::Value::parse(payload);
+  std::vector<double> curve;
+  curve.reserve(value.as_array().size());
+  for (const json::Value& v : value.as_array()) curve.push_back(v.as_number());
+  return curve;
+}
+
+// Rebuilds (sources, tvd) keeping only the sources whose payload exists;
+// failed sources are dropped from the curve set, matching their absence
+// from the aggregate a degraded run reports.
+void collect_curves(const exec::SweepResult& swept, MixingCurves& out) {
+  std::vector<VertexId> sources;
+  std::vector<std::vector<double>> tvd;
+  sources.reserve(out.sources.size());
+  tvd.reserve(out.sources.size());
+  for (std::size_t i = 0; i < swept.payloads.size(); ++i) {
+    if (swept.payloads[i].empty()) continue;
+    sources.push_back(out.sources[i]);
+    tvd.push_back(decode_curve(swept.payloads[i]));
+  }
+  out.sources = std::move(sources);
+  out.tvd = std::move(tvd);
+}
+
+}  // namespace
 
 std::vector<double> MixingCurves::mean_curve() const {
   if (tvd.empty()) return {};
@@ -56,31 +99,41 @@ MixingCurves measure_mixing(const Graph& g, const MixingOptions& options) {
   // One curve slot per source position: workers write disjoint slots, so
   // the result is bitwise identical for any thread count. The kernel mode
   // never changes the values either (see markov/frontier.hpp), only how
-  // much of the graph each step touches.
-  out.tvd.assign(k, {});
+  // much of the graph each step touches — which is also why it stays out of
+  // the checkpoint fingerprint.
   obs::ProgressMeter progress{"mixing sources", k};
   struct Scratch {
     std::vector<FrontierWalk> walk;  // 0 or 1 entries; lazily constructed
   };
   std::vector<Scratch> scratch(parallel::plan_workers(k));
-  parallel::parallel_for(0, k, [&](std::size_t i, std::uint32_t worker) {
-    Scratch& s = scratch[worker];
-    if (s.walk.empty()) s.walk.emplace_back(g, kernel);
-    FrontierWalk& walk = s.walk.front();
-    walk.reset(out.sources[i]);
-    std::vector<double> curve;
-    curve.reserve(options.max_walk_length + 1);
-    curve.push_back(walk.tvd(pi, prefix));
-    for (std::uint32_t t = 1; t <= options.max_walk_length; ++t) {
-      walk.step(kind);
-      curve.push_back(walk.tvd(pi, prefix));
-    }
-    out.tvd[i] = std::move(curve);
-    progress.tick();
-  });
-  obs::count("mixing.sources", k);
+
+  exec::SweepOptions sweep;
+  sweep.kind = "measure_mixing";
+  sweep.fault_site = "markov";
+  sweep.token = exec::process_token();
+  sweep.fingerprint = exec::fingerprint(
+      {n, g.num_edges(), k, options.max_walk_length,
+       options.lazy ? 1ULL : 0ULL, options.seed, exec::graph_fingerprint(g)});
+  const exec::SweepResult swept = exec::run_sweep(
+      k, sweep, [&](std::size_t i, std::uint32_t worker) {
+        Scratch& s = scratch[worker];
+        if (s.walk.empty()) s.walk.emplace_back(g, kernel);
+        FrontierWalk& walk = s.walk.front();
+        walk.reset(out.sources[i]);
+        std::vector<double> curve;
+        curve.reserve(options.max_walk_length + 1);
+        curve.push_back(walk.tvd(pi, prefix));
+        for (std::uint32_t t = 1; t <= options.max_walk_length; ++t) {
+          walk.step(kind);
+          curve.push_back(walk.tvd(pi, prefix));
+        }
+        progress.tick();
+        return encode_curve(curve);
+      });
+  collect_curves(swept, out);
+  obs::count("mixing.sources", out.sources.size());
   obs::count("mixing.distribution_steps",
-             static_cast<std::uint64_t>(k) * options.max_walk_length);
+             swept.computed * options.max_walk_length);
   return out;
 }
 
@@ -108,7 +161,6 @@ MixingCurves measure_mixing_monte_carlo(const Graph& g,
   // source *position*, so curves depend only on (seed, i) — never on which
   // worker ran the batch or in what order.
   const std::uint64_t walker_base = rng();
-  out.tvd.assign(k, {});
   const obs::Span span{"measure_mixing_monte_carlo", "markov"};
   obs::ProgressMeter progress{"monte-carlo mixing sources", k};
   struct Scratch {
@@ -116,25 +168,36 @@ MixingCurves measure_mixing_monte_carlo(const Graph& g,
     Distribution empirical;
   };
   std::vector<Scratch> scratch(parallel::plan_workers(k));
-  parallel::parallel_for(0, k, [&](std::size_t i, std::uint32_t worker) {
-    Scratch& s = scratch[worker];
-    s.counts.assign(n, 0u);
-    if (s.empirical.size() != n) s.empirical.assign(n, 0.0);
-    RandomWalker walker{g, stream_seed(walker_base, i)};
-    const VertexId source = out.sources[i];
-    std::vector<double> curve;
-    curve.reserve(options.max_walk_length + 1);
-    for (std::uint32_t t = 0; t <= options.max_walk_length; ++t) {
-      std::fill(s.counts.begin(), s.counts.end(), 0u);
-      for (std::uint32_t w = 0; w < walks_per_point; ++w)
-        ++s.counts[walker.walk_endpoint(source, t)];
-      for (VertexId v = 0; v < n; ++v)
-        s.empirical[v] = static_cast<double>(s.counts[v]) / walks_per_point;
-      curve.push_back(total_variation(s.empirical, pi));
-    }
-    out.tvd[i] = std::move(curve);
-    progress.tick();
-  });
+
+  exec::SweepOptions sweep;
+  sweep.kind = "measure_mixing_monte_carlo";
+  sweep.fault_site = "markov";
+  sweep.token = exec::process_token();
+  sweep.fingerprint = exec::fingerprint(
+      {n, g.num_edges(), k, options.max_walk_length, walks_per_point,
+       options.seed, exec::graph_fingerprint(g)});
+  const exec::SweepResult swept = exec::run_sweep(
+      k, sweep, [&](std::size_t i, std::uint32_t worker) {
+        Scratch& s = scratch[worker];
+        s.counts.assign(n, 0u);
+        if (s.empirical.size() != n) s.empirical.assign(n, 0.0);
+        RandomWalker walker{g, stream_seed(walker_base, i)};
+        const VertexId source = out.sources[i];
+        std::vector<double> curve;
+        curve.reserve(options.max_walk_length + 1);
+        for (std::uint32_t t = 0; t <= options.max_walk_length; ++t) {
+          std::fill(s.counts.begin(), s.counts.end(), 0u);
+          for (std::uint32_t w = 0; w < walks_per_point; ++w)
+            ++s.counts[walker.walk_endpoint(source, t)];
+          for (VertexId v = 0; v < n; ++v)
+            s.empirical[v] =
+                static_cast<double>(s.counts[v]) / walks_per_point;
+          curve.push_back(total_variation(s.empirical, pi));
+        }
+        progress.tick();
+        return encode_curve(curve);
+      });
+  collect_curves(swept, out);
   return out;
 }
 

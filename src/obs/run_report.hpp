@@ -77,6 +77,15 @@ class RunReporter {
   }
   void set_config(const std::string& key, bool value);
 
+  /// Records one degraded/skipped work item (a source that failed or timed
+  /// out); reported under "exec.failures". Additive to schema version 1 —
+  /// the "exec" section only appears when something was recorded.
+  void record_failure(const std::string& phase, std::uint64_t index,
+                      const std::string& reason);
+  /// Marks the run as interrupted (signal/deadline); reported under
+  /// "exec.interrupted".
+  void set_interrupted(const std::string& reason);
+
   /// Assembles the report from the live tracer/metrics/resource state.
   json::Value build() const;
 
@@ -87,10 +96,18 @@ class RunReporter {
   RunReporter();
   void set_config_value(const std::string& key, json::Value value);
 
+  struct Failure {
+    std::string phase;
+    std::uint64_t index;
+    std::string reason;
+  };
+
   mutable std::mutex mutex_;
   std::string export_path_;
   std::string tool_;
   std::vector<std::pair<std::string, json::Value>> config_;
+  std::vector<Failure> failures_;
+  std::string interrupted_;
   std::chrono::steady_clock::time_point wall_start_;
 };
 

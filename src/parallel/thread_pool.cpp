@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/cancel.hpp"
+#include "exec/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
@@ -44,6 +46,7 @@ struct Job {
   std::size_t begin = 0;
   std::size_t items = 0;
   std::uint32_t workers = 0;
+  std::uint64_t fault_base = 0;  ///< region id * kMaxThreads, for fault_point
   std::atomic<std::uint32_t> next_slot{0};
   std::atomic<std::uint32_t> completed{0};
   std::atomic<std::uint64_t> busy_ns{0};   ///< summed chunk wall-clock
@@ -127,6 +130,11 @@ class ThreadPool {
       const std::size_t chunk_end = chunk_begin + base + (slot < extra ? 1 : 0);
       const obs::Stopwatch chunk_clock;
       try {
+        // Chunk-boundary cancellation: a signal or expired deadline stops
+        // unclaimed work before it starts; chunks already running drain.
+        if (exec::process_cancel_requested())
+          throw exec::CancelledError(exec::process_cancel_reason());
+        exec::fault_point("pool", job.fault_base + slot);
         (*job.fn)(chunk_begin, chunk_end, slot);
       } catch (...) {
         job.errors[slot] = std::current_exception();
@@ -190,7 +198,15 @@ void run_chunks(std::size_t begin, std::size_t end, const ChunkFn& fn,
   const std::size_t items = end - begin;
   const std::uint32_t workers =
       t_in_region ? 1 : plan_workers(items, grain);
+  // Region ids sequence the "pool" fault-injection site so nested serial
+  // regions present distinct indices instead of re-rolling index 0 forever.
+  static std::atomic<std::uint64_t> region_seq{0};
+  const std::uint64_t fault_base =
+      region_seq.fetch_add(1, std::memory_order_relaxed) * kMaxThreads;
   if (workers <= 1) {
+    if (exec::process_cancel_requested())
+      throw exec::CancelledError(exec::process_cancel_reason());
+    exec::fault_point("pool", fault_base);
     fn(begin, end, 0);
     return;
   }
@@ -205,6 +221,7 @@ void run_chunks(std::size_t begin, std::size_t end, const ChunkFn& fn,
   job->begin = begin;
   job->items = items;
   job->workers = workers;
+  job->fault_base = fault_base;
   job->errors.assign(workers, nullptr);
   const obs::Stopwatch region_clock;
   ThreadPool::instance().run(job);

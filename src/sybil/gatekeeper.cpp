@@ -1,15 +1,19 @@
 #include "sybil/gatekeeper.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/checkpoint.hpp"
+#include "exec/sweep.hpp"
 #include "graph/frontier_bfs.hpp"
 #include "markov/walker.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace sntrust {
@@ -157,34 +161,49 @@ GateKeeperResult run_gatekeeper(const Graph& g, VertexId controller,
 
   obs::ProgressMeter progress{"gatekeeper distributers",
                               params.num_distributers};
-  // One adaptive ticket distribution per distributer across the pool;
-  // per-worker admission tallies merge by integer addition, so the final
-  // counts are identical for any thread count.
+  // One adaptive ticket distribution per distributer across the pool. Each
+  // distributer's payload is its sorted reached-vertex list; the admission
+  // tallies fold serially afterwards by integer addition in index order, so
+  // the final counts are identical for any thread count — and for resumed
+  // runs, which restore payloads instead of re-flooding.
   const VertexId n = g.num_vertices();
   const std::uint32_t workers =
       parallel::plan_workers(out.distributers.size());
   struct WorkerState {
-    std::vector<std::uint32_t> admissions;
     std::vector<FrontierBfs> runner;  // 0 or 1 entries; lazily constructed
   };
   std::vector<WorkerState> partial(workers);
-  parallel::parallel_for(
-      0, out.distributers.size(), [&](std::size_t i, std::uint32_t worker) {
+
+  exec::SweepOptions sweep;
+  sweep.kind = "gatekeeper_run";
+  sweep.fault_site = "sybil";
+  sweep.token = exec::process_token();
+  sweep.fingerprint = exec::fingerprint(
+      {n, g.num_edges(), params.num_distributers,
+       std::bit_cast<std::uint64_t>(params.f_admit),
+       std::bit_cast<std::uint64_t>(params.reach_fraction), params.seed,
+       walk_length, controller, exec::graph_fingerprint(g)});
+  const exec::SweepResult swept = exec::run_sweep(
+      out.distributers.size(), sweep,
+      [&](std::size_t i, std::uint32_t worker) {
         WorkerState& state = partial[worker];
-        if (state.admissions.empty()) {
-          state.admissions.assign(n, 0);
-          state.runner.emplace_back(g);
-        }
+        if (state.runner.empty()) state.runner.emplace_back(g);
         const TicketRun run =
             adaptive_distribute(g, out.distributers[i],
                                 params.reach_fraction, state.runner.front());
-        for (VertexId v = 0; v < n; ++v)
-          if (run.reached[v]) ++state.admissions[v];
         progress.tick();
+        json::Array reached;
+        for (VertexId v = 0; v < n; ++v)
+          if (run.reached[v])
+            reached.push_back(
+                json::Value::integer(static_cast<std::int64_t>(v)));
+        return json::Value::array(std::move(reached)).dump();
       });
-  for (const WorkerState& state : partial) {
-    if (state.admissions.empty()) continue;
-    for (VertexId v = 0; v < n; ++v) out.admissions[v] += state.admissions[v];
+  for (const std::string& payload : swept.payloads) {
+    if (payload.empty()) continue;  // failed distributer: degraded run
+    const json::Value reached = json::Value::parse(payload);
+    for (const json::Value& v : reached.as_array())
+      ++out.admissions[static_cast<VertexId>(v.as_int())];
   }
   return out;
 }

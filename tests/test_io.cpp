@@ -67,6 +67,28 @@ TEST(GraphIo, TrailingFieldsIgnored) {
   EXPECT_EQ(g.num_edges(), 2u);
 }
 
+TEST(GraphIo, NegativeIdRejectedWithLineNumber) {
+  std::istringstream in{"0 1\n2 -3\n"};
+  try {
+    read_edge_list(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(GraphIo, OverflowingIdRejectedWithLineNumber) {
+  std::istringstream in{"18446744073709551616 1\n"};  // 2^64
+  try {
+    read_edge_list(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 1"), std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(GraphIo, MissingFileThrows) {
   EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"),
                std::runtime_error);
@@ -111,6 +133,22 @@ TEST(GraphIo, BinaryRejectsBadMagic) {
     out << "definitely not a graph";
   }
   EXPECT_THROW(read_binary_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, BinaryRejectsHeaderSizeMismatch) {
+  // A header whose vertex count disagrees with the file size must be
+  // rejected *before* any allocation sized from that count.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sntrust_io_hdr.bin").string();
+  write_binary_file(petersen_graph(), path);
+  {
+    std::fstream patch{path, std::ios::binary | std::ios::in | std::ios::out};
+    patch.seekp(8);  // vertex-count field, right after the magic
+    const std::uint64_t bogus = 1'000'000'000ULL;
+    patch.write(reinterpret_cast<const char*>(&bogus), sizeof bogus);
+  }
+  EXPECT_THROW(read_binary_file(path), IoError);
   std::remove(path.c_str());
 }
 

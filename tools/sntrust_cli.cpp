@@ -30,13 +30,31 @@
 //                        snapshot, per-span wall/cpu/alloc table, totals) at
 //                        exit. SNTRUST_REPORT=<path> does the same for any
 //                        binary; diff two reports with sntrust_benchdiff.
+//   --deadline <ms>      Cooperative wall-clock budget: sweeps drain, write
+//                        their checkpoint, and the run exits 75 with a
+//                        partial report (same as SNTRUST_DEADLINE_MS).
+//   --checkpoint <path>  Persist completed per-source work to <path> and
+//                        restore from it on the next run (same as
+//                        SNTRUST_CHECKPOINT). --resume is an alias; both
+//                        read and write the same file.
+//   --max-failed-frac <f> Tolerate up to this fraction of failed sources
+//                        per sweep before aborting (default 0 = strict;
+//                        same as SNTRUST_MAX_FAILED_FRAC). A degraded run
+//                        exits 75.
 // Progress lines for long sweeps appear on stderr with SNTRUST_PROGRESS=1.
+//
+// Exit codes: 0 success, 64 usage error, 65 bad input (unreadable or
+// malformed graph files), 75 interrupted or partial/degraded results,
+// 1 internal error.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/property_suite.hpp"
+#include "exec/cancel.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/sweep.hpp"
 #include "gen/datasets.hpp"
 #include "graph/components.hpp"
 #include "graph/io.hpp"
@@ -70,8 +88,14 @@ int usage() {
                "  --kernel <mode>      distribution kernel: auto | dense | "
                "sparse (bitwise identical)\n"
                "  --report <out.json>  write the unified JSON run report "
-               "at exit\n";
-  return 2;
+               "at exit\n"
+               "  --deadline <ms>      cooperative wall-clock budget; "
+               "partial runs exit 75\n"
+               "  --checkpoint <path>  persist/restore per-source sweep "
+               "progress (alias: --resume)\n"
+               "  --max-failed-frac <f> tolerated failed-source fraction "
+               "per sweep (default 0)\n";
+  return 64;  // EX_USAGE
 }
 
 int cmd_datasets() {
@@ -210,6 +234,10 @@ int cmd_attack(const std::string& path, VertexId sybils,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Cooperative SIGINT/SIGTERM from the first instruction: a signal drains
+  // the in-flight sweep, persists its checkpoint, and still writes the run
+  // report at exit. A second signal force-kills the classic way.
+  exec::install_signal_handlers();
   try {
     // Peel the global --trace / --threads / --report flags off before
     // dispatching.
@@ -244,11 +272,35 @@ int main(int argc, char** argv) {
         obs::RunReporter::instance().set_export_path(argv[++i]);
         continue;
       }
+      if (arg == "--deadline") {
+        if (i + 1 >= argc) return usage();
+        const long long ms = std::atoll(argv[++i]);
+        if (ms <= 0) return usage();
+        exec::set_process_deadline(exec::Deadline::after_ms(ms));
+        obs::RunReporter::instance().set_config("deadline_ms",
+                                                static_cast<std::int64_t>(ms));
+        continue;
+      }
+      if (arg == "--checkpoint" || arg == "--resume") {
+        if (i + 1 >= argc) return usage();
+        const std::string path = argv[++i];
+        exec::CheckpointStore::instance().set_path(path);
+        obs::RunReporter::instance().set_config("checkpoint", path);
+        continue;
+      }
+      if (arg == "--max-failed-frac") {
+        if (i + 1 >= argc) return usage();
+        const double frac = std::atof(argv[++i]);
+        if (frac < 0.0 || frac > 1.0) return usage();
+        exec::set_max_failed_frac(frac);
+        obs::RunReporter::instance().set_config("max_failed_frac", frac);
+        continue;
+      }
       args.push_back(arg);
     }
     if (!trace_path.empty()) obs::Tracer::instance().enable();
 
-    int status = 2;
+    int status = 64;
     if (args.empty()) {
       status = usage();
     } else {
@@ -276,6 +328,20 @@ int main(int argc, char** argv) {
       std::cerr << "trace written to " << trace_path << "\n";
     }
     return status;
+  } catch (const exec::CancelledError& error) {
+    // Drained cleanly: the checkpoint (if armed) holds the completed work
+    // and the atexit run report records the interruption.
+    std::cerr << "interrupted: " << error.what() << "\n";
+    return 75;  // EX_TEMPFAIL: re-run with --resume to continue
+  } catch (const exec::PartialFailureError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 75;
+  } catch (const IoError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 65;  // EX_DATAERR: unreadable or malformed input
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 65;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
