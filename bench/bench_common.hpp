@@ -13,6 +13,7 @@
 #include "exec/cancel.hpp"
 #include "exec/sweep.hpp"
 #include "gen/datasets.hpp"
+#include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
@@ -41,8 +42,12 @@ class Section {
     std::cout << "=== " << title_ << " ===\n";
   }
   ~Section() {
-    std::cout << "[" << title_ << ": "
-              << static_cast<long long>(stopwatch_.elapsed_ms()) << " ms]\n\n";
+    const double elapsed_ms = stopwatch_.elapsed_ms();
+    // Sections feed the telemetry quantiles too, so a long-running bench's
+    // live frames (and the final report) carry per-section latency.
+    obs::record_latency("bench.section_ms", elapsed_ms);
+    std::cout << "[" << title_ << ": " << static_cast<long long>(elapsed_ms)
+              << " ms]\n\n";
   }
   Section(const Section&) = delete;
   Section& operator=(const Section&) = delete;
@@ -50,6 +55,22 @@ class Section {
  private:
   std::string title_;
   obs::Span span_;
+  obs::Stopwatch stopwatch_;
+};
+
+/// RAII per-dataset latency sample: the paper benches open one inside each
+/// dataset iteration so `bench.dataset_ms` quantiles (p50/p99 across
+/// datasets) land in the live telemetry frames and the final run report.
+class DatasetTimer {
+ public:
+  DatasetTimer() = default;
+  ~DatasetTimer() {
+    obs::record_latency("bench.dataset_ms", stopwatch_.elapsed_ms());
+  }
+  DatasetTimer(const DatasetTimer&) = delete;
+  DatasetTimer& operator=(const DatasetTimer&) = delete;
+
+ private:
   obs::Stopwatch stopwatch_;
 };
 

@@ -17,6 +17,7 @@ void run_panel(const std::string& title,
   bench::Section section{title};
   SeriesSet figure{"walk_length"};
   for (const std::string& id : ids) {
+    bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
     MixingOptions options;

@@ -14,6 +14,7 @@ static int run_bench() {
       "Figure 3: envelope expansion (neighbours vs set size)"};
 
   for (const std::string& id : figure3_ids()) {
+    bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
     ExpansionOptions options;

@@ -15,6 +15,7 @@ void run_panel(const std::string& title,
   bench::Section section{title};
   SeriesSet figure{"set_size_bucket"};
   for (const std::string& id : ids) {
+    bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
     ExpansionOptions options;

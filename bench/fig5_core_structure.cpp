@@ -14,7 +14,8 @@ static int run_bench() {
   {
     bench::Section section{"Figure 5: core structure per k"};
     for (const std::string& id : figure5_ids()) {
-      const DatasetSpec& spec = dataset_by_id(id);
+      bench::DatasetTimer dataset_timer;
+    const DatasetSpec& spec = dataset_by_id(id);
       const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
       const auto levels = core_profile(g);
       std::vector<double> x, nu, components;

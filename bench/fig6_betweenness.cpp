@@ -22,6 +22,7 @@ static int run_bench() {
                "top-1% share"}};
   for (const char* id : {"wiki_vote", "epinion", "physics_1", "physics_2",
                          "facebook_a"}) {
+    bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph g =
         spec.generate(bench::dataset_scale(0.15), bench::kBenchSeed);

@@ -20,6 +20,7 @@ static int run_bench() {
   Table table{{"Dataset", "Nodes", "Edges", "mu (measured)", "mu (paper)",
                "class"}};
   for (const DatasetSpec& spec : all_datasets()) {
+    bench::DatasetTimer dataset_timer;
     const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
     SlemOptions options;
     options.seed = bench::kBenchSeed;

@@ -20,6 +20,7 @@ static int run_bench() {
                "f=0.05", "f=0.1", "f=0.2"}};
 
   for (const std::string& id : table2_ids()) {
+    bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
     // Table II's graphs are large; keep the admission experiment affordable.
     const Graph honest =

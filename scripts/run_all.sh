@@ -17,11 +17,15 @@ cmake --build build -j "$(nproc)"
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 # Each bench writes a JSON run report (config, totals, span timings with
-# resource columns, metrics) next to the text output it already produces.
+# resource columns, metrics) next to the text output it already produces,
+# plus a live JSONL telemetry stream (latency quantiles, CPU/RSS totals)
+# under telemetry/ — tail the current bench's stream to watch it run.
 REPORT_DIR="reports/$(date +%Y%m%d-%H%M%S)"
-mkdir -p "$REPORT_DIR"
+mkdir -p "$REPORT_DIR/telemetry"
 for b in build/bench/*; do
-  SNTRUST_REPORT="$REPORT_DIR/$(basename "$b").json" "$b"
+  SNTRUST_REPORT="$REPORT_DIR/$(basename "$b").json" \
+    SNTRUST_TELEMETRY="$REPORT_DIR/telemetry/$(basename "$b").jsonl:1000" \
+    "$b"
 done 2>&1 | tee bench_output.txt
 
 echo "run reports: $REPORT_DIR"

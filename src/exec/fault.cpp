@@ -1,8 +1,10 @@
 #include "exec/fault.hpp"
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <mutex>
+#include <thread>
 
 #include "exec/cancel.hpp"
 #include "obs/metrics.hpp"
@@ -71,7 +73,19 @@ std::optional<FaultPlan> parse_fault_plan(const std::string& spec) {
     const std::string action = spec.substr(third + 1);
     if (action == "throw") plan.action = FaultPlan::Action::kThrow;
     else if (action == "sigterm") plan.action = FaultPlan::Action::kSigterm;
-    else return std::nullopt;
+    else if (action.rfind("sleep", 0) == 0) {
+      plan.action = FaultPlan::Action::kSleep;
+      const std::string ms_text = action.substr(5);
+      if (!ms_text.empty()) {
+        try {
+          std::size_t used = 0;
+          plan.sleep_ms = std::stoull(ms_text, &used);
+          if (used != ms_text.size()) return std::nullopt;
+        } catch (const std::exception&) {
+          return std::nullopt;
+        }
+      }
+    } else return std::nullopt;
   }
   return plan;
 }
@@ -112,6 +126,12 @@ void fault_point(const char* site, std::uint64_t index) {
       static_cast<double>(mixed >> 11) * 0x1.0p-53;  // uniform [0, 1)
   if (roll >= plan.prob) return;
   obs::count("exec.faults_fired", 1);
+  if (plan.action == FaultPlan::Action::kSleep) {
+    // A forced stall, not a failure: the worker simply stops making
+    // progress for a while, which is what the stall watchdog detects.
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan.sleep_ms));
+    return;
+  }
   if (plan.action == FaultPlan::Action::kSigterm) {
     // Fire once: the cooperative handler restores SIG_DFL after the first
     // delivery, so a second raise would hard-kill the process.

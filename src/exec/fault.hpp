@@ -10,6 +10,8 @@
 //            recording, the failure-fraction threshold, and worker draining
 //   sigterm  raise SIGTERM once (first firing only) — exercises the
 //            cooperative signal path: drain, checkpoint, partial run report
+//   sleepN   block the calling worker for N milliseconds (default 250, e.g.
+//            "sleep400") — a forced stall, for exercising the watchdog
 //
 // Instrumented sites: `io` (edge-list lines, binary loads), `markov` (mixing
 // sources), `expansion` (expansion sources), `sybil` (GateKeeper
@@ -33,12 +35,13 @@ class InjectedFault : public std::runtime_error {
 };
 
 struct FaultPlan {
-  enum class Action { kThrow, kSigterm };
+  enum class Action { kThrow, kSigterm, kSleep };
 
   std::string site;  ///< instrumented site name, or "all"
   std::uint64_t seed = 0;
   double prob = 0.0;  ///< firing probability per fault point, in [0, 1]
   Action action = Action::kThrow;
+  std::uint64_t sleep_ms = 250;  ///< stall duration for Action::kSleep
 
   bool armed() const { return !site.empty() && prob > 0.0; }
 };

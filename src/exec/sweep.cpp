@@ -10,6 +10,7 @@
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "obs/watchdog.hpp"
 #include "parallel/parallel.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -59,6 +60,17 @@ SweepResult run_sweep(std::size_t items, const SweepOptions& options,
                           std::size_t, std::uint32_t)>& compute) {
   SweepResult result;
   result.payloads.assign(items, {});
+
+  // The watchdog only watches while a sweep (or pool region) is live, and
+  // every completed source below is a heartbeat.
+  obs::WatchdogActivity watchdog_activity;
+  obs::QuantileHistogram& source_latency = obs::metrics_quantile(
+      options.kind.empty() ? "sweep.source_ms"
+                           : "sweep." + options.kind + ".source_ms");
+  obs::WindowedQuantileHistogram& source_latency_window =
+      obs::metrics_windowed(options.kind.empty()
+                                ? "sweep.source_ms"
+                                : "sweep." + options.kind + ".source_ms");
 
   CheckpointStore& store = CheckpointStore::instance();
   const bool checkpointing = store.armed() && !options.kind.empty();
@@ -113,6 +125,14 @@ SweepResult run_sweep(std::size_t items, const SweepOptions& options,
       }
       result.payloads[i] = std::move(payload);
       done[i].store(1, std::memory_order_release);
+      const double elapsed_ms =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count() /
+          1e6;
+      source_latency.record(elapsed_ms);
+      source_latency_window.record(elapsed_ms);
+      obs::watchdog_heartbeat();
       const std::uint64_t n =
           computed.fetch_add(1, std::memory_order_relaxed) + 1;
       if (checkpointing && n % flush_every == 0) flush();

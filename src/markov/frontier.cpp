@@ -9,6 +9,7 @@
 #include "markov/modulated.hpp"
 #include "markov/transition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
 #include "util/env.hpp"
 
@@ -117,7 +118,8 @@ FrontierWalk::FrontierWalk(const Graph& g, const Options& options)
       seen_(g.num_vertices(), 0),
       sparse_steps_(obs::metrics_counter("kernel.sparse_steps")),
       dense_steps_(obs::metrics_counter("kernel.dense_steps")),
-      frontier_edges_(obs::metrics_counter("kernel.frontier_edges")) {}
+      frontier_edges_(obs::metrics_counter("kernel.frontier_edges")),
+      step_latency_(obs::metrics_quantile("kernel.step_ms")) {}
 
 void FrontierWalk::reset(VertexId source) {
   const VertexId n = graph_.num_vertices();
@@ -256,6 +258,7 @@ void FrontierWalk::step(StepKind kind, double alpha) {
   if (kind == StepKind::kModulated && (alpha < 0.0 || alpha >= 1.0))
     throw std::invalid_argument("FrontierWalk::step: alpha must be in [0,1)");
 
+  const obs::Stopwatch step_clock;
   if (saturated_) {
     // Full support is a fixed point of the frontier expansion (every vertex
     // of a graph without isolated vertices has a neighbour in it), so the
@@ -266,6 +269,7 @@ void FrontierWalk::step(StepKind kind, double alpha) {
     dense_steps_.add(1);
     last_step_dense_ = true;
     last_frontier_degree_ = 0;
+    step_latency_.record(step_clock.elapsed_ms());
     return;
   }
 
@@ -305,6 +309,7 @@ void FrontierWalk::step(StepKind kind, double alpha) {
   if (dense) dense_steps_.add(1);
   else sparse_steps_.add(1);
   last_step_dense_ = dense;
+  step_latency_.record(step_clock.elapsed_ms());
 }
 
 double FrontierWalk::tvd(const Distribution& pi,

@@ -26,6 +26,7 @@
 namespace sntrust {
 namespace obs {
 class Counter;
+class QuantileHistogram;
 }  // namespace obs
 
 /// Kernel selection for distribution evolution. All modes are bitwise
@@ -173,6 +174,7 @@ class FrontierWalk {
   obs::Counter& sparse_steps_;
   obs::Counter& dense_steps_;
   obs::Counter& frontier_edges_;
+  obs::QuantileHistogram& step_latency_;
 };
 
 }  // namespace sntrust

@@ -29,6 +29,24 @@ HistogramSnapshot Histogram::snapshot() const {
   return data_;
 }
 
+double HistogramSnapshot::value_at_quantile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1,
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (rank > cumulative) continue;
+    // Bucket 0 holds values < 1; bucket i >= 1 spans [2^(i-1), 2^i).
+    const double midpoint =
+        i == 0 ? 0.5 : 1.5 * std::ldexp(1.0, static_cast<int>(i) - 1);
+    return std::clamp(midpoint, min, max);
+  }
+  return max;
+}
+
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   data_ = HistogramSnapshot{};
@@ -56,6 +74,17 @@ Histogram& Metrics::histogram(const std::string& name) {
   return histograms_[name];
 }
 
+QuantileHistogram& Metrics::quantile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quantiles_[name];
+}
+
+WindowedQuantileHistogram& Metrics::windowed(
+    const std::string& name, WindowedQuantileHistogram::Options options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return windows_.try_emplace(name, options).first->second;
+}
+
 MetricsSnapshot Metrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot out;
@@ -65,6 +94,10 @@ MetricsSnapshot Metrics::snapshot() const {
     out.gauges.emplace(name, gauge.value());
   for (const auto& [name, histogram] : histograms_)
     out.histograms.emplace(name, histogram.snapshot());
+  for (const auto& [name, quantile] : quantiles_)
+    out.quantiles.emplace(name, quantile.snapshot());
+  for (const auto& [name, window] : windows_)
+    out.windows.emplace(name, window.snapshot());
   return out;
 }
 
@@ -73,6 +106,8 @@ void Metrics::reset() {
   for (auto& [name, counter] : counters_) counter.reset();
   for (auto& [name, gauge] : gauges_) gauge.reset();
   for (auto& [name, histogram] : histograms_) histogram.reset();
+  for (auto& [name, quantile] : quantiles_) quantile.reset();
+  for (auto& [name, window] : windows_) window.reset();
 }
 
 Table Metrics::to_table() const {
@@ -90,6 +125,21 @@ Table Metrics::to_table() const {
                              compact(histogram.mean()) + ", min " +
                              compact(histogram.min) + ", max " +
                              compact(histogram.max)});
+  auto quantile_row = [&table](const char* kind, const std::string& name,
+                               const QuantileSnapshot& snap_q) {
+    table.add_row({kind, name,
+                   snap_q.count == 0
+                       ? "0 obs"
+                       : with_thousands(snap_q.count) + " obs, p50 " +
+                             compact(snap_q.value_at_quantile(0.5)) +
+                             ", p99 " +
+                             compact(snap_q.value_at_quantile(0.99)) +
+                             ", max " + compact(snap_q.max)});
+  };
+  for (const auto& [name, quantile] : snap.quantiles)
+    quantile_row("quantile", name, quantile);
+  for (const auto& [name, window] : snap.windows)
+    quantile_row("window", name, window);
   return table;
 }
 
@@ -103,6 +153,12 @@ void set_gauge(const std::string& name, double value) {
 
 void observe(const std::string& name, double value) {
   Metrics::instance().histogram(name).observe(value);
+}
+
+void record_latency(const std::string& name, double ms) {
+  Metrics& metrics = Metrics::instance();
+  metrics.quantile(name).record(ms);
+  metrics.windowed(name).record(ms);
 }
 
 void metrics_reset_all() { Metrics::instance().reset(); }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/quantile.hpp"
 #include "report/table.hpp"
 
 namespace sntrust::obs {
@@ -53,9 +54,9 @@ inline constexpr std::size_t kHistogramBuckets = 64;
 
 /// Empty-histogram contract: when `count == 0`, `min` is +infinity and
 /// `max` is -infinity (the identity elements of min/max, so folds over
-/// snapshots stay correct), `sum` is 0, and `mean()` is 0. Renderers that
-/// cannot encode infinities (JSON reports, tables) must gate min/max on
-/// `count > 0`.
+/// snapshots stay correct), `sum` is 0, `mean()` is 0, and
+/// `value_at_quantile()` returns NaN. Renderers that cannot encode
+/// infinities or NaN (JSON reports, tables) must gate on `count > 0`.
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;
@@ -67,6 +68,13 @@ struct HistogramSnapshot {
   double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  /// Coarse quantile over the power-of-two buckets: the midpoint of the
+  /// bucket holding rank ceil(q * count), clamped to [min, max]. NaN when
+  /// `count == 0` (the empty-histogram contract). For tight estimates use
+  /// the dedicated QuantileHistogram; this exists so every histogram can
+  /// answer the question at octave resolution.
+  double value_at_quantile(double q) const;
 };
 
 class Histogram {
@@ -87,6 +95,11 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Cumulative quantile histograms (whole-run latency distributions).
+  std::map<std::string, QuantileSnapshot> quantiles;
+  /// Sliding-window quantile histograms, merged over their window at
+  /// snapshot time ("p99 over the last N seconds").
+  std::map<std::string, QuantileSnapshot> windows;
 };
 
 /// Registry of all metrics in the process. Registration is mutex-guarded;
@@ -99,6 +112,11 @@ class Metrics {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  QuantileHistogram& quantile(const std::string& name);
+  /// Window options apply on first registration only; later callers get the
+  /// existing histogram regardless of the options they pass.
+  WindowedQuantileHistogram& windowed(
+      const std::string& name, WindowedQuantileHistogram::Options options = {});
 
   MetricsSnapshot snapshot() const;
 
@@ -115,12 +133,20 @@ class Metrics {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, QuantileHistogram> quantiles_;
+  std::map<std::string, WindowedQuantileHistogram> windows_;
 };
 
 /// Convenience forwarders for cold call sites.
 void count(const std::string& name, std::uint64_t delta = 1);
 void set_gauge(const std::string& name, double value);
 void observe(const std::string& name, double value);
+
+/// Records a latency sample (milliseconds) into both the cumulative
+/// quantile histogram `name` and its sliding-window sibling, so reports get
+/// the whole-run distribution and the telemetry exporter gets "over the
+/// last N seconds". Hot paths should cache the two references instead.
+void record_latency(const std::string& name, double ms);
 
 /// Zeroes every registered counter, gauge, and histogram in the process.
 /// Test fixtures call this in SetUp so metric assertions are isolated from
@@ -133,6 +159,13 @@ inline Counter& metrics_counter(const std::string& name) {
 }
 inline Histogram& metrics_histogram(const std::string& name) {
   return Metrics::instance().histogram(name);
+}
+inline QuantileHistogram& metrics_quantile(const std::string& name) {
+  return Metrics::instance().quantile(name);
+}
+inline WindowedQuantileHistogram& metrics_windowed(
+    const std::string& name, WindowedQuantileHistogram::Options options = {}) {
+  return Metrics::instance().windowed(name, options);
 }
 
 }  // namespace sntrust::obs

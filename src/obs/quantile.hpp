@@ -1,0 +1,165 @@
+// Log-bucketed quantile histograms (HDR-style) for live latency telemetry.
+//
+// `QuantileHistogram` divides every power-of-two octave into
+// `kQuantileSubBuckets` linear sub-buckets, so `value_at_quantile(q)` carries
+// a bounded *relative* error of at most `kQuantileRelativeError`
+// (= 1 / (2 * kQuantileSubBuckets), ~1.6%): a bucket within octave
+// [2^o, 2^(o+1)) spans 2^o / kQuantileSubBuckets and the estimator answers
+// with the bucket midpoint clamped to the exact observed [min, max].
+//
+// Recording is lock-free — one relaxed fetch_add on the bucket counter plus
+// CAS-maintained exact min/max — and every piece of state is an integer
+// counter or an order-independent fold, so two histograms fed the same
+// multiset of samples from any number of threads in any order snapshot
+// *bitwise identically* (no accumulated floating-point sum whose rounding
+// would depend on arrival order; `approx_sum()` is derived from the buckets
+// on demand instead).
+//
+// `WindowedQuantileHistogram` is the sliding-window variant the telemetry
+// exporter reads: a ring of sub-window snapshots, each `window_ms / slots`
+// wide, merged on read, so "p99 over the last N seconds" costs one short
+// per-slot critical section per record and a ring merge per snapshot — no
+// global lock. Time comes from `telemetry_now_ms()`, overridable for tests.
+//
+// Empty-histogram contract (mirrors HistogramSnapshot): when `count == 0`,
+// `min`/`max` hold the +inf/-inf fold identities and `value_at_quantile`
+// returns NaN — renderers must gate on `count > 0`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace sntrust::obs {
+
+/// Linear sub-buckets per power-of-two octave. 32 keeps the whole bucket
+/// array at 2048 counters (16 KiB) while bounding quantile error to ~1.6%.
+inline constexpr std::uint32_t kQuantileSubBuckets = 32;
+/// Smallest/largest finite octave: values in [2^-20, 2^44) ms — about one
+/// nanosecond to eleven days when samples are milliseconds — resolve to a
+/// bucket; anything outside lands in the underflow/overflow counters.
+inline constexpr int kQuantileMinExponent = -20;
+inline constexpr int kQuantileMaxExponent = 44;
+inline constexpr std::size_t kQuantileBuckets =
+    static_cast<std::size_t>(kQuantileMaxExponent - kQuantileMinExponent) *
+    kQuantileSubBuckets;
+/// Documented bound on |estimate - exact| / exact for value_at_quantile over
+/// in-range samples; pinned by test_obs.
+inline constexpr double kQuantileRelativeError =
+    1.0 / (2.0 * kQuantileSubBuckets);
+
+/// Consistent copy of a quantile histogram (or a merge of sub-windows).
+/// Integer bucket counts plus exact min/max; all derived statistics are pure
+/// functions of this state, so equal snapshots give equal answers.
+struct QuantileSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t underflow = 0;  ///< samples below 2^kQuantileMinExponent (or <= 0)
+  std::uint64_t overflow = 0;   ///< samples at or above 2^kQuantileMaxExponent
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::vector<std::uint64_t> buckets =
+      std::vector<std::uint64_t>(kQuantileBuckets, 0);
+
+  /// Value at quantile q in [0, 1] (clamped). NaN when `count == 0` — the
+  /// empty-histogram contract. Otherwise the midpoint of the bucket holding
+  /// rank ceil(q * count), clamped to [min, max]; underflow ranks answer
+  /// `min`, overflow ranks answer `max`.
+  double value_at_quantile(double q) const;
+
+  /// Sum estimated from bucket midpoints (clamped to [min, max] per bucket);
+  /// deterministic but only bucket-resolution accurate. 0 when empty.
+  double approx_sum() const;
+  double approx_mean() const {
+    return count == 0 ? 0.0 : approx_sum() / static_cast<double>(count);
+  }
+
+  /// Folds another snapshot in (bucket-wise add, min/max fold); the windowed
+  /// histogram's merge-on-read.
+  void merge(const QuantileSnapshot& other);
+
+  bool operator==(const QuantileSnapshot& other) const;
+};
+
+/// Cumulative quantile histogram; the registry hands out stable references
+/// (see Metrics::quantile) so hot paths cache them.
+class QuantileHistogram {
+ public:
+  QuantileHistogram();
+
+  /// Records one sample. Lock-free: a relaxed add on the owning bucket and
+  /// CAS folds of exact min/max. NaN samples count as underflow and leave
+  /// min/max untouched.
+  void record(double value);
+
+  QuantileSnapshot snapshot() const;
+  void reset();
+
+  /// Bucket index a finite in-range value lands in (exposed for tests);
+  /// values below/above the tracked range return kQuantileBuckets (sentinel:
+  /// use underflow/overflow).
+  static std::size_t bucket_index(double value);
+  /// Midpoint of bucket i — the estimator's representative value.
+  static double bucket_midpoint(std::size_t index);
+
+ private:
+  // No total-count atomic: snapshot() derives count from the loaded buckets
+  // so a live snapshot is internally consistent by construction.
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> min_bits_;  ///< bit_cast of the running min
+  std::atomic<std::uint64_t> max_bits_;  ///< bit_cast of the running max
+  std::array<std::atomic<std::uint64_t>, kQuantileBuckets> buckets_;
+};
+
+/// Milliseconds on the steady clock since the first call; the time base for
+/// sub-window rotation and telemetry frame timestamps.
+std::uint64_t telemetry_now_ms();
+/// Test hook: replaces the clock with `now_ms` (nullptr restores the steady
+/// clock). Not thread-safe against concurrent recorders; install before use.
+void set_telemetry_clock_for_test(std::uint64_t (*now_ms)());
+
+/// Sliding-window quantile histogram: a ring of `slots` sub-windows, each
+/// `window_ms / slots` wide. A record lands in the sub-window the current
+/// time maps to (stale slots are recycled in place); a snapshot merges the
+/// slots still inside the window. Per-slot mutexes keep record cost at one
+/// short critical section with no cross-slot contention.
+class WindowedQuantileHistogram {
+ public:
+  struct Options {
+    std::uint64_t window_ms = 10'000;  ///< total sliding-window span
+    std::uint32_t slots = 8;           ///< ring granularity (>= 2)
+  };
+
+  // Two overloads rather than `Options options = {}`: a braced default
+  // argument for a nested aggregate with member initializers trips GCC's
+  // complete-class parsing inside the enclosing class.
+  WindowedQuantileHistogram() : WindowedQuantileHistogram(Options()) {}
+  explicit WindowedQuantileHistogram(Options options);
+
+  void record(double value);
+  /// Merge of every sub-window whose epoch is within the window ending now.
+  QuantileSnapshot snapshot() const;
+  void reset();
+
+  std::uint64_t window_ms() const { return options_.window_ms; }
+
+ private:
+  struct Slot {
+    mutable std::mutex mutex;
+    std::uint64_t epoch = kIdle;  ///< sub-window sequence number, kIdle = empty
+    QuantileSnapshot data;
+  };
+  static constexpr std::uint64_t kIdle = ~0ULL;
+
+  std::uint64_t sub_window_ms() const {
+    return options_.window_ms / options_.slots;
+  }
+
+  Options options_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace sntrust::obs

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/resource.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/env.hpp"
@@ -51,6 +52,10 @@ RunReporter::RunReporter()
       std::fputc('\n', stderr);
     }
   });
+  // After the report hook on purpose: the exporter's own atexit stop (which
+  // writes the final telemetry frame) then runs *before* the report, so the
+  // frame count the report embeds includes it.
+  arm_telemetry_from_env();
 }
 
 RunReporter& RunReporter::instance() {
@@ -262,6 +267,40 @@ json::Value RunReporter::build() const {
   metrics.emplace_back("histograms",
                        json::Value::object(std::move(histograms)));
   root.emplace_back("metrics", json::Value::object(std::move(metrics)));
+
+  // Telemetry: the whole-run latency quantiles plus the exporter's frame
+  // count. Additive to schema 1 — present only when a quantile histogram
+  // recorded something or the exporter ran.
+  const TelemetryExporter& exporter = TelemetryExporter::instance();
+  if (!snapshot.quantiles.empty() || exporter.frames_written() > 0) {
+    json::Object telemetry;
+    telemetry.emplace_back("frames_written",
+                           json::Value::integer(static_cast<std::int64_t>(
+                               exporter.frames_written())));
+    json::Object quantiles;
+    for (const auto& [name, quantile] : snapshot.quantiles) {
+      json::Object entry;
+      entry.emplace_back("count", json::Value::integer(static_cast<std::int64_t>(
+                                      quantile.count)));
+      if (quantile.count > 0) {
+        // Same gating as histogram min/max: NaN/inf have no JSON encoding.
+        entry.emplace_back("p50",
+                           json::Value::number(quantile.value_at_quantile(0.5)));
+        entry.emplace_back("p90",
+                           json::Value::number(quantile.value_at_quantile(0.9)));
+        entry.emplace_back(
+            "p99", json::Value::number(quantile.value_at_quantile(0.99)));
+        entry.emplace_back(
+            "p999", json::Value::number(quantile.value_at_quantile(0.999)));
+        entry.emplace_back("min", json::Value::number(quantile.min));
+        entry.emplace_back("max", json::Value::number(quantile.max));
+      }
+      quantiles.emplace_back(name, json::Value::object(std::move(entry)));
+    }
+    telemetry.emplace_back("quantiles",
+                           json::Value::object(std::move(quantiles)));
+    root.emplace_back("telemetry", json::Value::object(std::move(telemetry)));
+  }
 
   return json::Value::object(std::move(root));
 }

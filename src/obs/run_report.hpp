@@ -24,12 +24,17 @@
 //     "metrics": {"counters": {name: value},
 //                 "gauges":   {name: value},
 //                 "histograms": {name: {"count", "sum", "mean"
-//                                       [, "min", "max"]}}}
+//                                       [, "min", "max"]}}},
+//     "telemetry": {"frames_written": N,          // additive: present only
+//                   "quantiles": {name: {"count"  // when quantiles recorded
+//                     [, "p50", "p90", "p99", "p999", "min", "max"]}}}
 //   }
-// Histogram min/max are omitted when count == 0 (the empty-histogram
-// contract's infinities have no JSON encoding). CPU and RSS totals are
-// process-cumulative; wall_ms counts from the reporter's creation (the
-// first Section / CLI flag parse, i.e. effectively process start).
+// Histogram min/max (and quantile p*/min/max) are omitted when count == 0
+// (the empty-histogram contract's infinities/NaN have no JSON encoding).
+// CPU and RSS totals are process-cumulative; wall_ms counts from the
+// reporter's creation (the first Section / CLI flag parse, i.e. effectively
+// process start). The constructor also arms the live telemetry exporter
+// from SNTRUST_TELEMETRY / SNTRUST_TELEMETRY_PROM (see obs/telemetry.hpp).
 #pragma once
 
 #include <chrono>

@@ -1,0 +1,317 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "util/env.hpp"
+#include "util/format.hpp"
+
+#ifdef __GLIBC__
+#include <errno.h>  // program_invocation_short_name
+#endif
+
+namespace sntrust::obs {
+
+namespace {
+
+std::string tool_name() {
+#ifdef __GLIBC__
+  if (program_invocation_short_name != nullptr)
+    return program_invocation_short_name;
+#endif
+  return "unknown";
+}
+
+/// {"count", "p50", "p90", "p99", "p999", "min", "max"}; the value fields
+/// are present iff count > 0 (NaN/inf have no JSON encoding).
+json::Value quantile_entry(const QuantileSnapshot& snap) {
+  json::Object entry;
+  entry.emplace_back(
+      "count", json::Value::integer(static_cast<std::int64_t>(snap.count)));
+  if (snap.count > 0) {
+    entry.emplace_back("p50", json::Value::number(snap.value_at_quantile(0.5)));
+    entry.emplace_back("p90", json::Value::number(snap.value_at_quantile(0.9)));
+    entry.emplace_back("p99",
+                       json::Value::number(snap.value_at_quantile(0.99)));
+    entry.emplace_back("p999",
+                       json::Value::number(snap.value_at_quantile(0.999)));
+    entry.emplace_back("min", json::Value::number(snap.min));
+    entry.emplace_back("max", json::Value::number(snap.max));
+  }
+  return json::Value::object(std::move(entry));
+}
+
+void write_atomically(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    if (!out)
+      throw std::runtime_error("telemetry: cannot open " + tmp);
+    out << body;
+    if (!out)
+      throw std::runtime_error("telemetry: write failed " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("telemetry: rename failed " + path);
+}
+
+}  // namespace
+
+TelemetryOptions parse_telemetry_spec(const std::string& spec) {
+  TelemetryOptions options;
+  if (spec.empty()) return options;
+  options.jsonl_path = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos && colon + 1 < spec.size()) {
+    const std::string suffix = spec.substr(colon + 1);
+    if (suffix.find_first_not_of("0123456789") == std::string::npos) {
+      options.jsonl_path = spec.substr(0, colon);
+      options.period_ms = std::max<std::uint64_t>(1, std::stoull(suffix));
+    }
+  }
+  return options;
+}
+
+TelemetryOptions telemetry_options_from_env() {
+  TelemetryOptions options =
+      parse_telemetry_spec(env_string("SNTRUST_TELEMETRY", ""));
+  options.prom_path = env_string("SNTRUST_TELEMETRY_PROM", "");
+  return options;
+}
+
+TelemetryExporter& TelemetryExporter::instance() {
+  // Intentionally leaked, like the Tracer and Metrics: the atexit stop hook
+  // must find the exporter alive at process exit.
+  static TelemetryExporter* exporter = new TelemetryExporter();
+  return *exporter;
+}
+
+void TelemetryExporter::start(TelemetryOptions options) {
+  if (!options.enabled()) return;
+  std::lock_guard<std::mutex> state_lock(state_mutex_);
+  if (running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> io_lock(io_mutex_);
+    options_ = std::move(options);
+    if (!options_.jsonl_path.empty()) {
+      jsonl_out_.open(options_.jsonl_path, std::ios::app);
+      if (!jsonl_out_)
+        throw std::runtime_error("telemetry: cannot open JSONL sink " +
+                                 options_.jsonl_path);
+    }
+    write_frame_locked();  // frame 0: the run is observable immediately
+  }
+  {
+    std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+  // Registered after the RunReporter's report hook, so at exit the final
+  // frame (and frame count) land before the report is assembled.
+  static bool atexit_armed = false;
+  if (!atexit_armed) {
+    atexit_armed = true;
+    std::atexit([] { TelemetryExporter::instance().stop(); });
+  }
+}
+
+void TelemetryExporter::run() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  const auto period = std::chrono::milliseconds(options_.period_ms);
+  while (!stop_requested_) {
+    if (wake_.wait_for(lock, period, [this] { return stop_requested_; }))
+      break;
+    lock.unlock();
+    try {
+      flush();
+    } catch (const std::exception& error) {
+      // A failed periodic frame must not take down the workload; the final
+      // stop() frame will surface persistent sink problems.
+      std::fputs((std::string("telemetry: ") + error.what() + "\n").c_str(),
+                 stderr);
+    }
+    lock.lock();
+  }
+}
+
+void TelemetryExporter::flush() {
+  std::lock_guard<std::mutex> io_lock(io_mutex_);
+  write_frame_locked();
+}
+
+void TelemetryExporter::write_frame_locked() {
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  // Deterministic injection site for the truncated-frame / mid-export kill
+  // tests (SNTRUST_FAULT=telemetry:<seed>:<prob>[:sigterm]).
+  exec::fault_point("telemetry", seq);
+  if (jsonl_out_.is_open()) {
+    build_frame().write(jsonl_out_);
+    jsonl_out_ << '\n';
+    jsonl_out_.flush();
+  }
+  if (!options_.prom_path.empty())
+    write_atomically(options_.prom_path, build_prometheus());
+  frames_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TelemetryExporter::stop() {
+  std::thread joining;
+  {
+    std::lock_guard<std::mutex> state_lock(state_mutex_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    {
+      std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+      stop_requested_ = true;
+    }
+    wake_.notify_all();
+    joining = std::move(thread_);
+  }
+  if (joining.joinable()) joining.join();
+  try {
+    flush();  // final frame: the closing state of the run
+  } catch (const std::exception& error) {
+    std::fputs((std::string("telemetry: ") + error.what() + "\n").c_str(),
+               stderr);
+  }
+  {
+    std::lock_guard<std::mutex> io_lock(io_mutex_);
+    if (jsonl_out_.is_open()) jsonl_out_.close();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+TelemetryOptions TelemetryExporter::options() const {
+  std::lock_guard<std::mutex> state_lock(state_mutex_);
+  return options_;
+}
+
+json::Value TelemetryExporter::build_frame() const {
+  json::Object root;
+  root.emplace_back("schema_version",
+                    json::Value::integer(kTelemetrySchemaVersion));
+  root.emplace_back("seq", json::Value::integer(static_cast<std::int64_t>(
+                               seq_.load(std::memory_order_relaxed))));
+  root.emplace_back("t_ms", json::Value::integer(static_cast<std::int64_t>(
+                                telemetry_now_ms())));
+  root.emplace_back("tool", json::Value::string(tool_name()));
+
+  const ResourceUsage usage = resource_usage_now();
+  json::Object totals;
+  totals.emplace_back("user_cpu_ms",
+                      json::Value::number(usage.user_cpu_ns / 1e6));
+  totals.emplace_back("system_cpu_ms",
+                      json::Value::number(usage.system_cpu_ns / 1e6));
+  totals.emplace_back(
+      "peak_rss_bytes",
+      json::Value::integer(static_cast<std::int64_t>(usage.peak_rss_bytes)));
+  totals.emplace_back(
+      "alloc_bytes",
+      json::Value::integer(static_cast<std::int64_t>(usage.alloc_bytes)));
+  totals.emplace_back(
+      "alloc_count",
+      json::Value::integer(static_cast<std::int64_t>(usage.alloc_count)));
+  root.emplace_back("totals", json::Value::object(std::move(totals)));
+
+  const MetricsSnapshot snapshot = Metrics::instance().snapshot();
+  json::Object counters;
+  for (const auto& [name, value] : snapshot.counters)
+    counters.emplace_back(name,
+                          json::Value::integer(static_cast<std::int64_t>(value)));
+  root.emplace_back("counters", json::Value::object(std::move(counters)));
+  json::Object gauges;
+  for (const auto& [name, value] : snapshot.gauges)
+    gauges.emplace_back(name, json::Value::number(value));
+  root.emplace_back("gauges", json::Value::object(std::move(gauges)));
+  json::Object quantiles;
+  for (const auto& [name, snap] : snapshot.quantiles)
+    quantiles.emplace_back(name, quantile_entry(snap));
+  root.emplace_back("quantiles", json::Value::object(std::move(quantiles)));
+  json::Object windows;
+  for (const auto& [name, snap] : snapshot.windows)
+    windows.emplace_back(name, quantile_entry(snap));
+  root.emplace_back("windows", json::Value::object(std::move(windows)));
+
+  return json::Value::object(std::move(root));
+}
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out = "sntrust_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+std::string TelemetryExporter::build_prometheus() const {
+  const MetricsSnapshot snapshot = Metrics::instance().snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = prometheus_metric_name(name) + "_total";
+    out << "# TYPE " << metric << " counter\n"
+        << metric << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = prometheus_metric_name(name);
+    out << "# TYPE " << metric << " gauge\n"
+        << metric << ' ' << compact(value) << '\n';
+  }
+  // Quantile histograms render as Prometheus summaries: one sample per
+  // tracked quantile plus _count; empty summaries emit only _count.
+  auto summary = [&out](const std::string& metric,
+                        const QuantileSnapshot& snap) {
+    out << "# TYPE " << metric << " summary\n";
+    if (snap.count > 0)
+      for (const double q : {0.5, 0.9, 0.99, 0.999})
+        out << metric << "{quantile=\"" << compact(q) << "\"} "
+            << compact(snap.value_at_quantile(q)) << '\n';
+    out << metric << "_count " << snap.count << '\n';
+  };
+  for (const auto& [name, snap] : snapshot.quantiles)
+    summary(prometheus_metric_name(name), snap);
+  for (const auto& [name, snap] : snapshot.windows)
+    summary(prometheus_metric_name(name) + "_window", snap);
+  return out.str();
+}
+
+TelemetryFrames read_telemetry_frames(const std::string& path) {
+  std::ifstream in{path};
+  if (!in)
+    throw std::runtime_error("telemetry: cannot open " + path);
+  TelemetryFrames out;
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    try {
+      out.frames.push_back(json::Value::parse(lines[i]));
+    } catch (const std::exception&) {
+      // Only the final line may be damaged (a kill mid-append); anything
+      // earlier means the file is not a telemetry stream.
+      if (i + 1 != lines.size())
+        throw std::runtime_error("telemetry: malformed frame at line " +
+                                 std::to_string(i + 1) + " of " + path);
+      out.truncated_tail = true;
+    }
+  }
+  return out;
+}
+
+void arm_telemetry_from_env() {
+  const TelemetryOptions options = telemetry_options_from_env();
+  if (options.enabled()) TelemetryExporter::instance().start(options);
+}
+
+}  // namespace sntrust::obs

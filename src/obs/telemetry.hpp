@@ -1,0 +1,143 @@
+// Live telemetry export: a background thread that periodically snapshots
+// the metrics registry (counters, gauges, quantile histograms and their
+// sliding windows) plus the getrusage/alloc resource samplers, and streams
+// the result while the process is still running — the counterpart to the
+// end-of-run report in run_report.hpp.
+//
+// Two sinks, both optional and independent:
+//   JSONL  (SNTRUST_TELEMETRY=path[:period_ms], or --telemetry on the CLI):
+//     one frame object appended per period. Frame schema (version 1, times
+//     in milliseconds):
+//       {"schema_version": 1, "seq": N, "t_ms": T, "tool": "...",
+//        "totals":   {"user_cpu_ms", "system_cpu_ms", "peak_rss_bytes",
+//                     "alloc_bytes", "alloc_count"},
+//        "counters": {name: value},
+//        "gauges":   {name: value},
+//        "quantiles": {name: {"count", "p50", "p90", "p99", "p999",
+//                             "min", "max"}},       // cumulative
+//        "windows":   {name: {same keys}}}          // sliding window
+//     Quantile entries omit p*/min/max when count == 0 (NaN/inf have no
+//     JSON encoding). Frames are flushed after every append, so a killed
+//     process loses at most a partial final line; `read_telemetry_frames`
+//     tolerates exactly that truncated tail.
+//   Prometheus text (SNTRUST_TELEMETRY_PROM=path):
+//     the whole exposition rewritten atomically (tmp + rename) per period,
+//     for scrape-through-a-file setups.
+//
+// Lifecycle: `start` spawns the exporter thread and writes frame 0
+// immediately; `stop` writes a final frame and joins — so any armed run
+// emits at least two frames. Arming via environment happens in the
+// RunReporter constructor, which registers the exporter's atexit stop
+// *after* its own report hook so the final frame (and the frame count the
+// report embeds) land before the report is written.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace sntrust::obs {
+
+inline constexpr std::int64_t kTelemetrySchemaVersion = 1;
+inline constexpr std::uint64_t kTelemetryDefaultPeriodMs = 1000;
+
+struct TelemetryOptions {
+  std::string jsonl_path;  ///< empty = JSONL sink disabled
+  std::string prom_path;   ///< empty = Prometheus sink disabled
+  std::uint64_t period_ms = kTelemetryDefaultPeriodMs;
+
+  bool enabled() const { return !jsonl_path.empty() || !prom_path.empty(); }
+};
+
+/// Parses one "path" or "path:period_ms" JSONL spec (the suffix is a period
+/// iff the text after the last colon is all digits — paths may contain
+/// colons). Shared by SNTRUST_TELEMETRY and the CLI --telemetry flag.
+TelemetryOptions parse_telemetry_spec(const std::string& spec);
+
+/// Parses SNTRUST_TELEMETRY ("path" or "path:period_ms") and
+/// SNTRUST_TELEMETRY_PROM into options; `enabled()` is false when neither
+/// variable is set.
+TelemetryOptions telemetry_options_from_env();
+
+/// Background exporter; one per process, intentionally leaked like the
+/// other obs singletons so atexit hooks can reach it.
+class TelemetryExporter {
+ public:
+  static TelemetryExporter& instance();
+
+  /// Starts the exporter thread (no-op when options.enabled() is false or
+  /// already running). Writes frame 0 synchronously before returning and
+  /// registers an atexit stop so the final frame is never lost on a clean
+  /// exit.
+  void start(TelemetryOptions options);
+
+  /// Writes one frame to every configured sink right now (callable with or
+  /// without the thread running; used by tests and by stop()).
+  void flush();
+
+  /// Writes a final frame, stops and joins the thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint64_t frames_written() const {
+    return frames_written_.load(std::memory_order_relaxed);
+  }
+  /// Options of the current/most recent start(); default-constructed (not
+  /// enabled) before the first.
+  TelemetryOptions options() const;
+
+  /// Assembles one schema-v1 frame from the live registry state (exposed
+  /// for tests; `seq` is what the next written frame would carry).
+  json::Value build_frame() const;
+
+  /// Renders the Prometheus text exposition for the current registry state.
+  std::string build_prometheus() const;
+
+ private:
+  TelemetryExporter() = default;
+  void run();
+  void write_frame_locked();  ///< requires io_mutex_
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> frames_written_{0};
+  std::atomic<std::uint64_t> seq_{0};
+
+  mutable std::mutex state_mutex_;  ///< guards options_/thread_ transitions
+  TelemetryOptions options_;
+  std::thread thread_;
+
+  std::mutex io_mutex_;  ///< serializes sink writes (thread vs flush/stop)
+  std::ofstream jsonl_out_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+};
+
+/// Frames parsed back from a JSONL telemetry file with the strict util/json
+/// parser. A final line that does not parse (the process was killed mid-
+/// append) is dropped and reported via `truncated_tail`; a malformed line
+/// anywhere else throws.
+struct TelemetryFrames {
+  std::vector<json::Value> frames;
+  bool truncated_tail = false;
+};
+TelemetryFrames read_telemetry_frames(const std::string& path);
+
+/// Sanitizes a metric name into a Prometheus-legal one: [a-zA-Z0-9_:],
+/// everything else mapped to '_', "sntrust_" prefixed.
+std::string prometheus_metric_name(const std::string& name);
+
+/// Reads the telemetry environment variables and starts the exporter when
+/// they ask for it. Called from the RunReporter constructor so every binary
+/// that touches the reporter (all benches, the CLI) honors them.
+void arm_telemetry_from_env();
+
+}  // namespace sntrust::obs

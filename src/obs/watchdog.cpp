@@ -1,0 +1,157 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "exec/cancel.hpp"
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+
+namespace sntrust::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_heartbeats{0};
+std::once_flag g_env_once;
+
+}  // namespace
+
+void watchdog_heartbeat() {
+  g_heartbeats.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t watchdog_heartbeats() {
+  return g_heartbeats.load(std::memory_order_relaxed);
+}
+
+std::uint64_t WatchdogOptions::effective_check_period_ms() const {
+  if (check_period_ms > 0) return check_period_ms;
+  return std::clamp<std::uint64_t>(stall_ms / 4, 1, 1000);
+}
+
+WatchdogOptions watchdog_options_from_env() {
+  WatchdogOptions options;
+  options.stall_ms = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, env_int("SNTRUST_STALL_MS", 0)));
+  options.cancel = env_bool("SNTRUST_STALL_CANCEL", false);
+  return options;
+}
+
+StallWatchdog& StallWatchdog::instance() {
+  // Intentionally leaked: activity scopes in atexit-adjacent code (final
+  // checkpoint flushes) must find the watchdog alive.
+  static StallWatchdog* watchdog = new StallWatchdog();
+  return *watchdog;
+}
+
+void StallWatchdog::configure(WatchdogOptions options) {
+  std::lock_guard<std::mutex> state_lock(state_mutex_);
+  if (thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+      stop_requested_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+    running_.store(false, std::memory_order_release);
+  }
+  options_ = options;
+  if (!options.enabled()) return;
+  {
+    std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this, options] { run(options); });
+}
+
+WatchdogOptions StallWatchdog::options() const {
+  std::lock_guard<std::mutex> state_lock(state_mutex_);
+  return options_;
+}
+
+void StallWatchdog::begin_activity() {
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  active_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StallWatchdog::end_activity() {
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void StallWatchdog::run(WatchdogOptions options) {
+  using clock = std::chrono::steady_clock;
+  const auto period =
+      std::chrono::milliseconds(options.effective_check_period_ms());
+  std::uint64_t seen_heartbeats = watchdog_heartbeats();
+  std::uint64_t seen_generation = generation_.load(std::memory_order_relaxed);
+  clock::time_point last_progress = clock::now();
+  bool fired = false;
+
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  while (!stop_requested_) {
+    if (wake_.wait_for(lock, period, [this] { return stop_requested_; }))
+      break;
+    const clock::time_point now = clock::now();
+    if (active_.load(std::memory_order_relaxed) <= 0) {
+      // Idle is not stalled: keep the clock pinned to "now" so the first
+      // activity scope starts with a full window.
+      seen_heartbeats = watchdog_heartbeats();
+      last_progress = now;
+      fired = false;
+      continue;
+    }
+    const std::uint64_t heartbeats = watchdog_heartbeats();
+    const std::uint64_t generation =
+        generation_.load(std::memory_order_relaxed);
+    if (heartbeats != seen_heartbeats || generation != seen_generation) {
+      seen_heartbeats = heartbeats;
+      seen_generation = generation;
+      last_progress = now;
+      fired = false;  // progress re-arms the watchdog for the next episode
+      continue;
+    }
+    const auto silent_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                              last_progress)
+            .count());
+    if (!fired && silent_ms >= options.stall_ms) {
+      fired = true;  // once per episode
+      lock.unlock();
+      fire(options, silent_ms);
+      lock.lock();
+    }
+  }
+}
+
+void StallWatchdog::fire(const WatchdogOptions& options,
+                         std::uint64_t silent_ms) {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  // The counter is the telemetry event: the exporter streams it in the next
+  // frame and the run report records it at exit.
+  count("exec.stalled", 1);
+  const std::string message =
+      "watchdog: no progress for " + std::to_string(silent_ms) +
+      " ms (stall threshold " + std::to_string(options.stall_ms) + " ms)" +
+      (options.cancel ? ", requesting cooperative cancel" : "");
+  std::fputs((message + "\n").c_str(), stderr);
+  if (options.cancel)
+    exec::request_process_cancel("stalled for " + std::to_string(silent_ms) +
+                                 " ms");
+}
+
+WatchdogActivity::WatchdogActivity() {
+  std::call_once(g_env_once, [] {
+    const WatchdogOptions options = watchdog_options_from_env();
+    if (options.enabled()) StallWatchdog::instance().configure(options);
+  });
+  StallWatchdog::instance().begin_activity();
+}
+
+WatchdogActivity::~WatchdogActivity() {
+  StallWatchdog::instance().end_activity();
+}
+
+}  // namespace sntrust::obs

@@ -1,0 +1,107 @@
+// Stall watchdog: detects a live process that has stopped making progress.
+//
+// Workers publish progress with `watchdog_heartbeat()` — one relaxed atomic
+// increment, called at natural progress boundaries (a completed thread-pool
+// chunk, a completed sweep source). A background thread wakes every
+// `check_period_ms` and, while at least one `WatchdogActivity` scope is
+// open, compares the heartbeat counter against the last value it saw: no
+// change for `stall_ms` means the workload is stalled (a worker wedged in a
+// syscall, livelocked, or sleeping in an injected fault), so the watchdog
+// bumps the `exec.stalled` counter — which the telemetry exporter streams
+// as a live event — logs one line to stderr, and, when `cancel` is set,
+// requests cooperative process cancellation via the exec layer: in-flight
+// sources drain, checkpoints flush, and the run exits with the standard
+// degraded code (75 under bench::guarded_main / the CLI).
+//
+// Activity scoping is what keeps an *idle* process from "stalling": the
+// watchdog only watches between WatchdogActivity construction and
+// destruction (run_sweep opens one around every sweep). It fires at most
+// once per stall episode and re-arms as soon as the heartbeat advances.
+//
+// Configure with SNTRUST_STALL_MS=<ms> (0/unset disables) and
+// SNTRUST_STALL_CANCEL=1 for the cancel escalation; the environment is read
+// the first time an activity scope opens. Tests configure programmatically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace sntrust::obs {
+
+struct WatchdogOptions {
+  std::uint64_t stall_ms = 0;  ///< no-progress window; 0 disables the watchdog
+  bool cancel = false;         ///< escalate a stall to cooperative cancel
+  /// Poll cadence; 0 = auto (stall_ms / 4, clamped to [1, 1000]).
+  std::uint64_t check_period_ms = 0;
+
+  bool enabled() const { return stall_ms > 0; }
+  std::uint64_t effective_check_period_ms() const;
+};
+
+/// SNTRUST_STALL_MS / SNTRUST_STALL_CANCEL.
+WatchdogOptions watchdog_options_from_env();
+
+/// Publishes one unit of progress. Hot-path safe: a relaxed increment.
+void watchdog_heartbeat();
+/// Total heartbeats published so far (tests, diagnostics).
+std::uint64_t watchdog_heartbeats();
+
+/// The process stall watchdog; leaked singleton like the other obs state.
+class StallWatchdog {
+ public:
+  static StallWatchdog& instance();
+
+  /// Replaces the configuration: stops any running monitor thread, then
+  /// starts a new one when `options.enabled()`. Safe to call repeatedly.
+  void configure(WatchdogOptions options);
+  /// configure({}) — stops the monitor (test teardown).
+  void stop() { configure(WatchdogOptions{}); }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  WatchdogOptions options() const;
+
+  /// Number of stall episodes detected since process start.
+  std::uint64_t stalls_detected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Activity scope bookkeeping (prefer the WatchdogActivity RAII).
+  void begin_activity();
+  void end_activity();
+
+ private:
+  StallWatchdog() = default;
+  void run(WatchdogOptions options);
+  void fire(const WatchdogOptions& options, std::uint64_t silent_ms);
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::int64_t> active_{0};
+  /// Bumped when an activity scope opens so the monitor restarts its
+  /// no-progress clock instead of counting the preceding idle gap.
+  std::atomic<std::uint64_t> generation_{0};
+
+  mutable std::mutex state_mutex_;
+  WatchdogOptions options_;
+  std::thread thread_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+};
+
+/// RAII activity scope: the watchdog only monitors while at least one of
+/// these is alive. The first scope in the process also arms the watchdog
+/// from the environment (SNTRUST_STALL_MS).
+class WatchdogActivity {
+ public:
+  WatchdogActivity();
+  ~WatchdogActivity();
+  WatchdogActivity(const WatchdogActivity&) = delete;
+  WatchdogActivity& operator=(const WatchdogActivity&) = delete;
+};
+
+}  // namespace sntrust::obs

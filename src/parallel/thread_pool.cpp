@@ -11,6 +11,7 @@
 #include "exec/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/env.hpp"
 
 namespace sntrust::parallel {
@@ -141,6 +142,9 @@ class ThreadPool {
       }
       job.busy_ns.fetch_add(chunk_clock.elapsed_ns(),
                             std::memory_order_relaxed);
+      // A finished chunk is progress the stall watchdog can see even when
+      // the surrounding sweep's sources are long-running.
+      obs::watchdog_heartbeat();
       if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           job.workers) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -208,6 +212,7 @@ void run_chunks(std::size_t begin, std::size_t end, const ChunkFn& fn,
       throw exec::CancelledError(exec::process_cancel_reason());
     exec::fault_point("pool", fault_base);
     fn(begin, end, 0);
+    obs::watchdog_heartbeat();
     return;
   }
 

@@ -73,6 +73,31 @@ RunReportData parse_run_report(const json::Value& document) {
         if (member.second.is_number())
           data.gauges.emplace(member.first, member.second.as_number());
   }
+
+  if (const json::Value* telemetry = document.find("telemetry");
+      telemetry != nullptr && telemetry->is_object()) {
+    data.telemetry_frames =
+        static_cast<std::int64_t>(number_or(telemetry->find("frames_written"),
+                                            0.0));
+    if (const json::Value* quantiles = telemetry->find("quantiles");
+        quantiles != nullptr && quantiles->is_object()) {
+      for (const json::Member& member : quantiles->as_object()) {
+        if (!member.second.is_object()) continue;
+        RunReportData::QuantileRow row;
+        row.count = static_cast<std::uint64_t>(
+            number_or(member.second.find("count"), 0.0));
+        const json::Value* p50 = member.second.find("p50");
+        row.has_values = p50 != nullptr;
+        row.p50 = number_or(p50, 0.0);
+        row.p90 = number_or(member.second.find("p90"), 0.0);
+        row.p99 = number_or(member.second.find("p99"), 0.0);
+        row.p999 = number_or(member.second.find("p999"), 0.0);
+        row.min = number_or(member.second.find("min"), 0.0);
+        row.max = number_or(member.second.find("max"), 0.0);
+        data.quantiles.emplace(member.first, row);
+      }
+    }
+  }
   return data;
 }
 
@@ -201,6 +226,49 @@ DiffResult diff_run_reports(const RunReportData& baseline,
     if (rss.status == DiffRow::Status::Regressed) result.breached = true;
     result.totals.push_back(std::move(rss));
   }
+
+  // Telemetry quantiles: align by histogram name, gate p50 and p99 with the
+  // same symmetric-threshold machinery as spans, with their own (wider)
+  // threshold and noise floor. Added/Removed histograms are informational —
+  // instrumenting a new code path is a code change, not a regression.
+  for (const auto& [name, cand] : candidate.quantiles) {
+    const auto found = baseline.quantiles.find(name);
+    if (found == baseline.quantiles.end()) {
+      DiffRow row;
+      row.name = name;
+      row.metric = "p50_ms";
+      row.candidate = cand.p50;
+      row.status = DiffRow::Status::Added;
+      result.quantiles.push_back(std::move(row));
+      continue;
+    }
+    const RunReportData::QuantileRow& base = found->second;
+    if (!base.has_values || !cand.has_values) continue;  // empty on a side
+    const struct {
+      const char* metric;
+      double baseline_value;
+      double candidate_value;
+    } tracked[] = {{"p50_ms", base.p50, cand.p50},
+                   {"p99_ms", base.p99, cand.p99}};
+    for (const auto& q : tracked) {
+      if (std::max(q.baseline_value, q.candidate_value) <
+          options.min_quantile_ms)
+        continue;  // sub-floor latencies are timer noise
+      DiffRow row = classify(name, q.metric, q.baseline_value,
+                             q.candidate_value, options.quantile_threshold_pct);
+      if (row.status == DiffRow::Status::Regressed) result.breached = true;
+      result.quantiles.push_back(std::move(row));
+    }
+  }
+  for (const auto& [name, base] : baseline.quantiles) {
+    if (candidate.quantiles.count(name) != 0) continue;
+    DiffRow row;
+    row.name = name;
+    row.metric = "p50_ms";
+    row.baseline = base.p50;
+    row.status = DiffRow::Status::Removed;
+    result.quantiles.push_back(std::move(row));
+  }
   return result;
 }
 
@@ -226,8 +294,10 @@ Table diff_table(const DiffResult& result) {
   // Regressions first so a failing CI log leads with the verdict.
   add_rows(result.spans, "span", true);
   add_rows(result.totals, "total", true);
+  add_rows(result.quantiles, "quantile", true);
   add_rows(result.spans, "span", false);
   add_rows(result.totals, "total", false);
+  add_rows(result.quantiles, "quantile", false);
   return table;
 }
 

@@ -34,6 +34,22 @@ struct RunReportData {
 
   std::map<std::string, double> counters;
   std::map<std::string, double> gauges;
+
+  /// One latency-quantile summary from the report's "telemetry" section.
+  /// `has_values` is false for an empty histogram (count == 0 omits the
+  /// value fields — the empty-histogram contract).
+  struct QuantileRow {
+    std::uint64_t count = 0;
+    bool has_values = false;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::string, QuantileRow> quantiles;
+  std::int64_t telemetry_frames = 0;  ///< telemetry.frames_written (0 if none)
 };
 
 /// Parses an in-memory report document; throws std::runtime_error on a
@@ -49,6 +65,11 @@ struct DiffOptions {
   double rss_threshold_pct = 50.0;    ///< peak-RSS regression gate
   double min_wall_ms = 5.0;  ///< spans below this in both runs are noise
   bool gate_cpu = false;     ///< also breach on span cpu_ms regressions
+  /// Latency-quantile regression gate (p50/p99 from the telemetry section);
+  /// wider than the span gate because tail quantiles are noisier.
+  double quantile_threshold_pct = 40.0;
+  /// Quantiles below this in both runs are timer noise, not signal.
+  double min_quantile_ms = 1.0;
 };
 
 struct DiffRow {
@@ -64,6 +85,7 @@ struct DiffRow {
 struct DiffResult {
   std::vector<DiffRow> spans;
   std::vector<DiffRow> totals;
+  std::vector<DiffRow> quantiles;  ///< telemetry p50/p99 rows per histogram
   bool breached = false;  ///< any Regressed row past its threshold
 };
 

@@ -23,6 +23,12 @@ Ranking ranking_from_scores(const std::vector<double>& scores) {
 double ranking_overlap(const Ranking& a, const Ranking& b,
                        std::uint32_t step) {
   const obs::Span span{"eval.ranking_overlap", "sybil"};
+  const obs::Stopwatch clock;
+  // Record on every exit path, including the early returns.
+  struct Latency {
+    const obs::Stopwatch& clock;
+    ~Latency() { obs::record_latency("eval.ranking_ms", clock.elapsed_ms()); }
+  } latency{clock};
   if (a.size() != b.size())
     throw std::invalid_argument("ranking_overlap: size mismatch");
   const std::size_t n = a.size();
@@ -52,6 +58,11 @@ double ranking_overlap(const Ranking& a, const Ranking& b,
 
 double ranking_auc(const Ranking& ranking, const AttackedGraph& attacked) {
   const obs::Span span{"eval.ranking_auc", "sybil"};
+  const obs::Stopwatch clock;
+  struct Latency {
+    const obs::Stopwatch& clock;
+    ~Latency() { obs::record_latency("eval.ranking_ms", clock.elapsed_ms()); }
+  } latency{clock};
   obs::count("eval.auc_evaluations");
   if (ranking.size() != attacked.graph().num_vertices())
     throw std::invalid_argument("ranking_auc: ranking size mismatch");

@@ -148,6 +148,10 @@ GateKeeperResult run_gatekeeper(const Graph& g, VertexId controller,
   }
 
   const obs::Span span{"gatekeeper.run", "sybil"};
+  // Per-query latency: one admission-control query is one controller asking
+  // GateKeeper for a decision — the distribution the serving layer will
+  // quote as its p50/p99.
+  const obs::Stopwatch query_clock;
 
   GateKeeperResult out;
   out.threshold = static_cast<std::uint32_t>(
@@ -205,6 +209,7 @@ GateKeeperResult run_gatekeeper(const Graph& g, VertexId controller,
     for (const json::Value& v : reached.as_array())
       ++out.admissions[static_cast<VertexId>(v.as_int())];
   }
+  obs::record_latency("gatekeeper.query_ms", query_clock.elapsed_ms());
   return out;
 }
 
@@ -215,6 +220,7 @@ GateKeeperEvaluation evaluate_gatekeeper(const AttackedGraph& attacked,
     throw std::invalid_argument(
         "evaluate_gatekeeper: controller must be honest");
   const obs::Span span{"gatekeeper.evaluate", "sybil"};
+  const obs::Stopwatch eval_clock;
   GateKeeperEvaluation eval;
   eval.result = run_gatekeeper(attacked.graph(), controller, params);
 
@@ -247,6 +253,7 @@ GateKeeperEvaluation evaluate_gatekeeper(const AttackedGraph& attacked,
       static_cast<double>(honest_admitted) / attacked.num_honest();
   eval.sybils_per_attack_edge = static_cast<double>(sybil_admitted) /
                                 attacked.num_attack_edges();
+  obs::record_latency("gatekeeper.eval_ms", eval_clock.elapsed_ms());
   return eval;
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -19,7 +20,9 @@
 #include "gen/generators.hpp"
 #include "graph/components.hpp"
 #include "markov/mixing.hpp"
+#include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "obs/watchdog.hpp"
 #include "parallel/parallel.hpp"
 #include "sybil/gatekeeper.hpp"
 #include "test_graphs.hpp"
@@ -41,6 +44,7 @@ struct ExecStateGuard {
     exec::set_process_deadline(exec::Deadline{});
     exec::set_max_failed_frac(-1.0);
     exec::CheckpointStore::instance().set_path("");
+    obs::StallWatchdog::instance().stop();
   }
 };
 
@@ -113,6 +117,38 @@ TEST(ExecFault, ParsesWellFormedSpecs) {
   const auto sigterm = exec::parse_fault_plan("io:123:0.25:sigterm");
   ASSERT_TRUE(sigterm.has_value());
   EXPECT_EQ(sigterm->action, exec::FaultPlan::Action::kSigterm);
+}
+
+TEST(ExecFault, ParsesSleepActionWithOptionalDuration) {
+  const auto plain = exec::parse_fault_plan("pool:1:1.0:sleep");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->action, exec::FaultPlan::Action::kSleep);
+  EXPECT_EQ(plain->sleep_ms, 250u);  // documented default
+
+  const auto timed = exec::parse_fault_plan("pool:1:1.0:sleep400");
+  ASSERT_TRUE(timed.has_value());
+  EXPECT_EQ(timed->action, exec::FaultPlan::Action::kSleep);
+  EXPECT_EQ(timed->sleep_ms, 400u);
+
+  EXPECT_FALSE(exec::parse_fault_plan("pool:1:1.0:sleepx").has_value());
+  EXPECT_FALSE(exec::parse_fault_plan("pool:1:1.0:sleep4x").has_value());
+}
+
+TEST(ExecFault, SleepActionBlocksWithoutFailing) {
+  ExecStateGuard guard;
+  exec::FaultPlan plan;
+  plan.site = "unit.sleep";
+  plan.seed = 1;
+  plan.prob = 1.0;
+  plan.action = exec::FaultPlan::Action::kSleep;
+  plan.sleep_ms = 60;
+  exec::set_fault_plan(plan);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(exec::fault_point("unit.sleep", 0));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // A forced stall, not a failure: the call blocks, then returns normally.
+  EXPECT_GE(elapsed.count(), 50);
 }
 
 TEST(ExecFault, RejectsMalformedSpecs) {
@@ -320,6 +356,51 @@ TEST(ExecSweep, RestoredSourcesSkipCompute) {
   EXPECT_EQ(second.restored, 6u);
   EXPECT_EQ(second.payloads, first.payloads);
   std::remove(path.c_str());
+}
+
+TEST(ExecSweep, ForcedStallFiresWatchdogAndCancelsDraining) {
+  ExecStateGuard guard;
+
+  // Force the stall: every source wedges for 400 ms inside the injected
+  // sleep — far past the 50 ms no-progress threshold.
+  exec::FaultPlan plan;
+  plan.site = "unit.stall";
+  plan.seed = 1;
+  plan.prob = 1.0;
+  plan.action = exec::FaultPlan::Action::kSleep;
+  plan.sleep_ms = 400;
+  exec::set_fault_plan(plan);
+
+  obs::WatchdogOptions watchdog;
+  watchdog.stall_ms = 50;
+  watchdog.check_period_ms = 10;
+  watchdog.cancel = true;  // escalate the stall to cooperative cancel
+  obs::StallWatchdog::instance().configure(watchdog);
+
+  const std::uint64_t stalls_before =
+      obs::StallWatchdog::instance().stalls_detected();
+  obs::Counter& stalled_events =
+      obs::Metrics::instance().counter("exec.stalled");
+  const std::uint64_t events_before = stalled_events.value();
+
+  exec::SweepOptions options;
+  options.kind = "unit_sweep_stall";
+  // run_sweep opens the watchdog activity scope itself; the wedged workers
+  // never heartbeat, the watchdog fires, requests process cancellation, and
+  // the sweep drains at the next chunk boundary into CancelledError — the
+  // same draining shutdown an operator sees as exit code 75.
+  EXPECT_THROW(exec::run_sweep(64, options,
+                               [](std::size_t i, std::uint32_t) {
+                                 exec::fault_point("unit.stall", i);
+                                 return std::string("[]");
+                               }),
+               exec::CancelledError);
+
+  EXPECT_GE(obs::StallWatchdog::instance().stalls_detected() - stalls_before,
+            1u);
+  EXPECT_GE(stalled_events.value() - events_before, 1u);
+  EXPECT_TRUE(exec::process_cancel_requested());
+  EXPECT_NE(exec::process_cancel_reason().find("stalled"), std::string::npos);
 }
 
 TEST(ExecReport, BuildEmitsExecSectionAfterFailures) {

@@ -1,17 +1,26 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
+#include "obs/quantile.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "exec/fault.hpp"
 #include "util/json.hpp"
 
 namespace sntrust::obs {
@@ -257,6 +266,28 @@ TEST_F(MetricsTest, EmptyHistogramHoldsMinMaxIdentities) {
   EXPECT_TRUE(std::isinf(h.snapshot().min));
 }
 
+TEST_F(MetricsTest, EmptyHistogramQuantileIsNaN) {
+  Histogram& h = Metrics::instance().histogram("test.empty_quantile");
+  // The documented empty-histogram contract: count == 0 answers NaN, never
+  // a fabricated number renderers might mistake for a latency.
+  EXPECT_TRUE(std::isnan(h.snapshot().value_at_quantile(0.5)));
+  h.observe(3.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().value_at_quantile(0.5), 3.0);
+  h.reset();
+  EXPECT_TRUE(std::isnan(h.snapshot().value_at_quantile(0.99)));
+}
+
+TEST_F(MetricsTest, HistogramQuantileIsOctaveResolution) {
+  Histogram& h = Metrics::instance().histogram("test.coarse_quantile");
+  for (int i = 0; i < 99; ++i) h.observe(10.0);
+  h.observe(1000.0);
+  const HistogramSnapshot snap = h.snapshot();
+  // p50 lands in the [8, 16) bucket and answers its midpoint; p100 answers
+  // the [512, 1024) midpoint — octave resolution, as documented.
+  EXPECT_DOUBLE_EQ(snap.value_at_quantile(0.5), 12.0);
+  EXPECT_DOUBLE_EQ(snap.value_at_quantile(1.0), 768.0);
+}
+
 TEST_F(MetricsTest, ToTableListsEveryKind) {
   count("test.table.counter", 5);
   set_gauge("test.table.gauge", 0.5);
@@ -346,6 +377,528 @@ TEST(Progress, EnvToggleControlsDefault) {
     ProgressMeter meter{"env-off", 1, options};
     EXPECT_FALSE(meter.enabled());
   }
+}
+
+// ------------------------------------------------- quantile histograms ---
+
+class QuantileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { metrics_reset_all(); }
+  void TearDown() override {
+    set_telemetry_clock_for_test(nullptr);
+    metrics_reset_all();
+  }
+};
+
+TEST_F(QuantileTest, BucketIndexCoversTheTrackedRange) {
+  // Exactly 2^kQuantileMinExponent is the first tracked value.
+  EXPECT_EQ(QuantileHistogram::bucket_index(0x1.0p-20), 0u);
+  EXPECT_EQ(QuantileHistogram::bucket_index(1.0),
+            static_cast<std::size_t>(-kQuantileMinExponent) *
+                kQuantileSubBuckets);
+  // Out-of-range and non-finite values return the sentinel.
+  EXPECT_EQ(QuantileHistogram::bucket_index(0.0), kQuantileBuckets);
+  EXPECT_EQ(QuantileHistogram::bucket_index(-1.0), kQuantileBuckets);
+  EXPECT_EQ(QuantileHistogram::bucket_index(0x1.0p+44), kQuantileBuckets);
+  EXPECT_EQ(QuantileHistogram::bucket_index(
+                std::numeric_limits<double>::quiet_NaN()),
+            kQuantileBuckets);
+
+  // The midpoint of the bucket a value lands in is within the documented
+  // relative error of the value itself — the core accuracy invariant.
+  for (double value = 0x1.0p-20; value < 0x1.0p+44; value *= 1.37) {
+    const std::size_t index = QuantileHistogram::bucket_index(value);
+    ASSERT_LT(index, kQuantileBuckets) << value;
+    const double midpoint = QuantileHistogram::bucket_midpoint(index);
+    EXPECT_LE(std::abs(midpoint - value) / value,
+              kQuantileRelativeError + 1e-12)
+        << "value " << value << " bucket " << index;
+  }
+}
+
+TEST_F(QuantileTest, EmptyHistogramContract) {
+  QuantileHistogram h;
+  const QuantileSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_TRUE(std::isnan(snap.value_at_quantile(0.5)));
+  EXPECT_TRUE(std::isinf(snap.min));
+  EXPECT_GT(snap.min, 0.0);
+  EXPECT_TRUE(std::isinf(snap.max));
+  EXPECT_LT(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.approx_sum(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.approx_mean(), 0.0);
+}
+
+TEST_F(QuantileTest, SingleValueAnswersExactly) {
+  QuantileHistogram h;
+  h.record(3.7);
+  const QuantileSnapshot snap = h.snapshot();
+  // min == max == 3.7 clamps the bucket midpoint to the exact value.
+  for (const double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(snap.value_at_quantile(q), 3.7);
+}
+
+TEST_F(QuantileTest, QuantileErrorWithinDocumentedBound) {
+  QuantileHistogram h;
+  std::vector<double> samples;
+  // Deterministic multiset spanning ~9 octaves.
+  double value = 0.37;
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(value);
+    h.record(value);
+    value = value * 1.0023 + 0.0007;
+    if (value > 200.0) value *= 0.0031;
+  }
+  std::sort(samples.begin(), samples.end());
+  const QuantileSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count, samples.size());
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(samples.size())))));
+    const double exact = samples[rank - 1];
+    const double estimate = snap.value_at_quantile(q);
+    EXPECT_LE(std::abs(estimate - exact) / exact,
+              kQuantileRelativeError + 1e-12)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST_F(QuantileTest, OutOfRangeSamplesLandInUnderOverflow) {
+  QuantileHistogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(0x1.0p+50);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  const QuantileSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.underflow, 3u);  // 0, -5, NaN
+  EXPECT_EQ(snap.overflow, 1u);
+  // NaN never perturbs the exact extrema.
+  EXPECT_DOUBLE_EQ(snap.min, -5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0x1.0p+50);
+  EXPECT_DOUBLE_EQ(snap.value_at_quantile(0.01), -5.0);   // underflow -> min
+  EXPECT_DOUBLE_EQ(snap.value_at_quantile(1.0), 0x1.0p+50);  // overflow -> max
+}
+
+TEST_F(QuantileTest, SnapshotsAreBitwiseDeterministicAcrossThreadCounts) {
+  std::vector<double> samples;
+  double value = 0.11;
+  for (int i = 0; i < 20'000; ++i) {
+    samples.push_back(value);
+    value = value * 1.0019 + 0.0003;
+    if (value > 900.0) value *= 0.0013;
+  }
+
+  QuantileHistogram serial;
+  for (const double v : samples) serial.record(v);
+
+  for (const unsigned threads : {2u, 5u, 8u}) {
+    QuantileHistogram parallel;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t)
+      workers.emplace_back([&, t] {
+        // Strided partition: every thread records a different interleaving.
+        for (std::size_t i = t; i < samples.size(); i += threads)
+          parallel.record(samples[i]);
+      });
+    for (std::thread& w : workers) w.join();
+    // Same multiset, any thread count, any arrival order: identical bits.
+    EXPECT_TRUE(serial.snapshot() == parallel.snapshot())
+        << threads << " threads";
+  }
+}
+
+TEST_F(QuantileTest, MergeEqualsCombinedRecording) {
+  QuantileHistogram left, right, combined;
+  double value = 0.9;
+  for (int i = 0; i < 1000; ++i) {
+    (i % 2 == 0 ? left : right).record(value);
+    combined.record(value);
+    value = value * 1.013 + 0.01;
+    if (value > 5000.0) value *= 0.0002;
+  }
+  QuantileSnapshot merged = left.snapshot();
+  merged.merge(right.snapshot());
+  EXPECT_TRUE(merged == combined.snapshot());
+}
+
+TEST_F(QuantileTest, ResetRestoresTheEmptyState) {
+  QuantileHistogram h;
+  h.record(1.0);
+  h.record(2.0);
+  h.reset();
+  EXPECT_TRUE(h.snapshot() == QuantileHistogram().snapshot());
+}
+
+namespace fake_clock {
+std::atomic<std::uint64_t> now_ms{0};
+std::uint64_t read() { return now_ms.load(std::memory_order_relaxed); }
+}  // namespace fake_clock
+
+TEST_F(QuantileTest, WindowedHistogramAgesOutOldSamples) {
+  fake_clock::now_ms.store(0);
+  set_telemetry_clock_for_test(&fake_clock::read);
+
+  WindowedQuantileHistogram::Options options;
+  options.window_ms = 1000;
+  options.slots = 4;  // 250 ms sub-windows
+  WindowedQuantileHistogram w{options};
+
+  w.record(5.0);
+  EXPECT_EQ(w.snapshot().count, 1u);
+
+  // Still inside the window: the sample survives a rotation or two.
+  fake_clock::now_ms.store(600);
+  w.record(7.0);
+  EXPECT_EQ(w.snapshot().count, 2u);
+  EXPECT_DOUBLE_EQ(w.snapshot().min, 5.0);
+
+  // One full window later the first sample has aged out, the second not yet.
+  fake_clock::now_ms.store(1100);
+  EXPECT_EQ(w.snapshot().count, 1u);
+  EXPECT_DOUBLE_EQ(w.snapshot().min, 7.0);
+
+  // Far future: everything aged out; a new sample recycles a stale slot.
+  fake_clock::now_ms.store(10'000);
+  EXPECT_EQ(w.snapshot().count, 0u);
+  w.record(9.0);
+  EXPECT_EQ(w.snapshot().count, 1u);
+  EXPECT_DOUBLE_EQ(w.snapshot().value_at_quantile(0.5), 9.0);
+}
+
+TEST_F(QuantileTest, WindowedOptionsClampToUsableValues) {
+  WindowedQuantileHistogram degenerate{{0, 0}};
+  // window_ms >= slots >= 2 so the epoch arithmetic stays well defined.
+  EXPECT_GE(degenerate.window_ms(), 2u);
+  degenerate.record(1.0);
+  EXPECT_GE(degenerate.snapshot().count, 0u);
+}
+
+TEST_F(QuantileTest, RegistryHandsOutStableReferencesAndSnapshots) {
+  QuantileHistogram& h = Metrics::instance().quantile("test.q");
+  EXPECT_EQ(&h, &Metrics::instance().quantile("test.q"));
+  record_latency("test.lat", 5.0);
+  record_latency("test.lat", 50.0);
+  const MetricsSnapshot snap = Metrics::instance().snapshot();
+  ASSERT_TRUE(snap.quantiles.count("test.lat"));
+  ASSERT_TRUE(snap.windows.count("test.lat"));
+  EXPECT_EQ(snap.quantiles.at("test.lat").count, 2u);
+  EXPECT_EQ(snap.windows.at("test.lat").count, 2u);
+  const Table table = Metrics::instance().to_table();
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("quantile,test.lat"), std::string::npos);
+  EXPECT_NE(csv.str().find("window,test.lat"), std::string::npos);
+}
+
+TEST_F(QuantileTest, SnapshotRacingRecordersStaysInternallyConsistent) {
+  // Hammer test (meaningful under TSan): four writers flood a registered
+  // histogram while the main thread snapshots the whole registry. Every
+  // snapshot must be internally consistent — ranks resolve, quantiles are
+  // finite once non-empty — and the final count must be exact.
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 50'000;
+  QuantileHistogram& h = Metrics::instance().quantile("test.hammer");
+  std::atomic<int> running{kWriters};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t)
+    writers.emplace_back([&, t] {
+      double value = 0.5 + t;
+      for (int i = 0; i < kPerWriter; ++i) {
+        h.record(value);
+        value = value * 1.0001 + 0.001;
+        if (value > 100.0) value *= 0.01;
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  std::uint64_t last_count = 0;
+  while (running.load(std::memory_order_acquire) > 0) {
+    const MetricsSnapshot snap = Metrics::instance().snapshot();
+    const auto found = snap.quantiles.find("test.hammer");
+    if (found != snap.quantiles.end() && found->second.count > 0) {
+      const double p50 = found->second.value_at_quantile(0.5);
+      EXPECT_TRUE(std::isfinite(p50));
+      EXPECT_GE(found->second.count, last_count);  // counts only grow
+      last_count = found->second.count;
+    }
+    std::this_thread::yield();
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(h.snapshot().count,
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
+// ------------------------------------------------------------ telemetry ---
+
+std::string obs_temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Telemetry, ParsesSpecWithOptionalPeriod) {
+  {
+    const TelemetryOptions options = parse_telemetry_spec("out.jsonl");
+    EXPECT_EQ(options.jsonl_path, "out.jsonl");
+    EXPECT_EQ(options.period_ms, kTelemetryDefaultPeriodMs);
+    EXPECT_TRUE(options.enabled());
+  }
+  {
+    const TelemetryOptions options = parse_telemetry_spec("out.jsonl:250");
+    EXPECT_EQ(options.jsonl_path, "out.jsonl");
+    EXPECT_EQ(options.period_ms, 250u);
+  }
+  {
+    // A non-numeric suffix is part of the path, not a period.
+    const TelemetryOptions options = parse_telemetry_spec("dir:with/colon");
+    EXPECT_EQ(options.jsonl_path, "dir:with/colon");
+    EXPECT_EQ(options.period_ms, kTelemetryDefaultPeriodMs);
+  }
+  {
+    // Period 0 would spin; clamp to 1 ms.
+    const TelemetryOptions options = parse_telemetry_spec("out.jsonl:0");
+    EXPECT_EQ(options.period_ms, 1u);
+  }
+  EXPECT_FALSE(parse_telemetry_spec("").enabled());
+}
+
+TEST(Telemetry, PrometheusNamesAreSanitized) {
+  EXPECT_EQ(prometheus_metric_name("sweep.mixing.source_ms"),
+            "sntrust_sweep_mixing_source_ms");
+  EXPECT_EQ(prometheus_metric_name("ok_name:sub"), "sntrust_ok_name:sub");
+  EXPECT_EQ(prometheus_metric_name("bad name-x"), "sntrust_bad_name_x");
+}
+
+TEST(Telemetry, ExporterWritesParseableFramesAcrossLifecycle) {
+  metrics_reset_all();
+  const std::string jsonl = obs_temp_path("sntrust_telemetry_lifecycle.jsonl");
+  const std::string prom = obs_temp_path("sntrust_telemetry_lifecycle.prom");
+  std::remove(jsonl.c_str());
+  std::remove(prom.c_str());
+
+  count("test.frames_counter", 3);
+  set_gauge("test.frames_gauge", 1.25);
+  record_latency("test.frames_lat", 4.0);
+
+  TelemetryExporter& exporter = TelemetryExporter::instance();
+  const std::uint64_t before = exporter.frames_written();
+  TelemetryOptions options;
+  options.jsonl_path = jsonl;
+  options.prom_path = prom;
+  options.period_ms = 60'000;  // no periodic frames during the test
+  exporter.start(options);
+  EXPECT_TRUE(exporter.running());
+  EXPECT_EQ(exporter.frames_written() - before, 1u);  // frame 0, synchronous
+
+  record_latency("test.frames_lat", 8.0);
+  exporter.flush();
+  exporter.stop();  // writes the final frame
+  EXPECT_FALSE(exporter.running());
+  EXPECT_EQ(exporter.frames_written() - before, 3u);
+
+  // Every line must satisfy the strict JSON parser, with the documented
+  // schema fields and monotonically increasing sequence numbers.
+  const TelemetryFrames frames = read_telemetry_frames(jsonl);
+  EXPECT_FALSE(frames.truncated_tail);
+  ASSERT_EQ(frames.frames.size(), 3u);
+  std::int64_t last_seq = -1;
+  for (const json::Value& frame : frames.frames) {
+    EXPECT_EQ(frame.find("schema_version")->as_int(), 1);
+    EXPECT_GT(frame.find("seq")->as_int(), last_seq);
+    last_seq = frame.find("seq")->as_int();
+    ASSERT_NE(frame.find("tool"), nullptr);
+    ASSERT_NE(frame.find("totals"), nullptr);
+    EXPECT_NE(frame.find("totals")->find("peak_rss_bytes"), nullptr);
+    ASSERT_NE(frame.find("counters"), nullptr);
+    ASSERT_NE(frame.find("quantiles"), nullptr);
+    ASSERT_NE(frame.find("windows"), nullptr);
+  }
+  // The final frame carries the recorded state: counter value and the
+  // quantile entry with its value fields (count > 0 gates them in).
+  const json::Value& last = frames.frames.back();
+  EXPECT_EQ(last.find("counters")->find("test.frames_counter")->as_int(), 3);
+  const json::Value* lat = last.find("quantiles")->find("test.frames_lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->as_int(), 2);
+  ASSERT_NE(lat->find("p50"), nullptr);
+  EXPECT_GT(lat->find("p50")->as_number(), 0.0);
+  ASSERT_NE(lat->find("p99"), nullptr);
+
+  // The Prometheus sink holds the last exposition in text format.
+  std::ifstream prom_in{prom};
+  ASSERT_TRUE(prom_in.good());
+  std::ostringstream prom_text;
+  prom_text << prom_in.rdbuf();
+  EXPECT_NE(prom_text.str().find(
+                "# TYPE sntrust_test_frames_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom_text.str().find("sntrust_test_frames_counter_total 3"),
+            std::string::npos);
+  EXPECT_NE(prom_text.str().find("# TYPE sntrust_test_frames_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(prom_text.str().find(
+                "sntrust_test_frames_lat{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom_text.str().find("sntrust_test_frames_lat_count 2"),
+            std::string::npos);
+  EXPECT_NE(prom_text.str().find("sntrust_test_frames_lat_window_count"),
+            std::string::npos);
+
+  std::remove(jsonl.c_str());
+  std::remove(prom.c_str());
+  metrics_reset_all();
+}
+
+TEST(Telemetry, ExporterRestartsAfterStop) {
+  const std::string jsonl = obs_temp_path("sntrust_telemetry_restart.jsonl");
+  std::remove(jsonl.c_str());
+  TelemetryExporter& exporter = TelemetryExporter::instance();
+  TelemetryOptions options;
+  options.jsonl_path = jsonl;
+  options.period_ms = 60'000;
+  exporter.start(options);
+  exporter.stop();
+  exporter.start(options);
+  exporter.stop();
+  // Two start/stop cycles, two frames each, appended to the same file.
+  const TelemetryFrames frames = read_telemetry_frames(jsonl);
+  EXPECT_EQ(frames.frames.size(), 4u);
+  std::remove(jsonl.c_str());
+}
+
+TEST(Telemetry, InjectedFaultInWritePathDoesNotWedgeTheExporter) {
+  const std::string jsonl = obs_temp_path("sntrust_telemetry_fault.jsonl");
+  std::remove(jsonl.c_str());
+  TelemetryExporter& exporter = TelemetryExporter::instance();
+  const std::uint64_t before = exporter.frames_written();
+  TelemetryOptions options;
+  options.jsonl_path = jsonl;
+  options.period_ms = 60'000;
+  exporter.start(options);  // frame 0 written before the fault arms
+
+  // Deterministic injection at the frame-write site: every subsequent
+  // write throws before touching the sink.
+  exec::FaultPlan plan;
+  plan.site = "telemetry";
+  plan.seed = 1;
+  plan.prob = 1.0;
+  exec::set_fault_plan(plan);
+  EXPECT_THROW(exporter.flush(), exec::InjectedFault);
+  // stop() tolerates a faulting final flush (it must never take down the
+  // workload at exit) and still shuts the exporter down cleanly.
+  EXPECT_NO_THROW(exporter.stop());
+  EXPECT_FALSE(exporter.running());
+  exec::clear_fault_plan();
+
+  // Only the pre-fault frame landed, and the stream is still parseable.
+  EXPECT_EQ(exporter.frames_written() - before, 1u);
+  const TelemetryFrames frames = read_telemetry_frames(jsonl);
+  EXPECT_FALSE(frames.truncated_tail);
+  EXPECT_EQ(frames.frames.size(), 1u);
+  std::remove(jsonl.c_str());
+}
+
+TEST(Telemetry, TruncatedFinalFrameIsTolerated) {
+  const std::string path = obs_temp_path("sntrust_telemetry_truncated.jsonl");
+  {
+    std::ofstream out{path, std::ios::trunc};
+    out << R"({"schema_version":1,"seq":0})" << "\n"
+        << R"({"schema_version":1,"seq":1})" << "\n"
+        << R"({"schema_version":1,"se)";  // killed mid-append
+  }
+  const TelemetryFrames frames = read_telemetry_frames(path);
+  EXPECT_TRUE(frames.truncated_tail);
+  ASSERT_EQ(frames.frames.size(), 2u);
+  EXPECT_EQ(frames.frames[1].find("seq")->as_int(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, MalformedMiddleFrameThrows) {
+  const std::string path = obs_temp_path("sntrust_telemetry_malformed.jsonl");
+  {
+    std::ofstream out{path, std::ios::trunc};
+    out << R"({"schema_version":1,"seq":0})" << "\n"
+        << "not json\n"
+        << R"({"schema_version":1,"seq":2})" << "\n";
+  }
+  // A damaged line that is not the tail means the file is not a telemetry
+  // stream — refuse it loudly rather than silently dropping frames.
+  EXPECT_THROW(read_telemetry_frames(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- watchdog ---
+
+class WatchdogTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    StallWatchdog::instance().stop();
+    metrics_reset_all();
+  }
+};
+
+TEST_F(WatchdogTest, CheckPeriodDerivesFromStallThreshold) {
+  WatchdogOptions options;
+  EXPECT_FALSE(options.enabled());
+  options.stall_ms = 100;
+  EXPECT_TRUE(options.enabled());
+  EXPECT_EQ(options.effective_check_period_ms(), 25u);
+  options.stall_ms = 2;
+  EXPECT_EQ(options.effective_check_period_ms(), 1u);  // clamped low
+  options.stall_ms = 60'000;
+  EXPECT_EQ(options.effective_check_period_ms(), 1000u);  // clamped high
+  options.check_period_ms = 7;
+  EXPECT_EQ(options.effective_check_period_ms(), 7u);  // explicit wins
+}
+
+TEST_F(WatchdogTest, HeartbeatsAccumulate) {
+  const std::uint64_t before = watchdog_heartbeats();
+  watchdog_heartbeat();
+  watchdog_heartbeat();
+  EXPECT_EQ(watchdog_heartbeats() - before, 2u);
+}
+
+TEST_F(WatchdogTest, FiresOnSilenceOnlyInsideAnActivityScope) {
+  StallWatchdog& dog = StallWatchdog::instance();
+  WatchdogOptions options;
+  options.stall_ms = 40;
+  options.check_period_ms = 5;
+  dog.configure(options);
+  EXPECT_TRUE(dog.running());
+
+  // Idle (no activity scope): arbitrarily long silence is not a stall.
+  const std::uint64_t before_idle = dog.stalls_detected();
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(dog.stalls_detected() - before_idle, 0u);
+
+  // Inside an activity scope the same silence fires exactly once.
+  const std::uint64_t before_active = dog.stalls_detected();
+  Counter& stalled = Metrics::instance().counter("exec.stalled");
+  const std::uint64_t stalled_before = stalled.value();
+  {
+    dog.begin_activity();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    dog.end_activity();
+  }
+  EXPECT_EQ(dog.stalls_detected() - before_active, 1u);
+  EXPECT_EQ(stalled.value() - stalled_before, 1u);
+}
+
+TEST_F(WatchdogTest, SteadyHeartbeatsNeverFire) {
+  StallWatchdog& dog = StallWatchdog::instance();
+  WatchdogOptions options;
+  options.stall_ms = 150;
+  options.check_period_ms = 5;
+  dog.configure(options);
+  const std::uint64_t before = dog.stalls_detected();
+  dog.begin_activity();
+  // 300 ms of activity with progress every 15 ms: silence never reaches the
+  // 150 ms threshold.
+  for (int i = 0; i < 20; ++i) {
+    watchdog_heartbeat();
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  dog.end_activity();
+  EXPECT_EQ(dog.stalls_detected() - before, 0u);
 }
 
 }  // namespace

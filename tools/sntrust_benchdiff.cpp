@@ -15,6 +15,9 @@
 //   --total-threshold-pct <p> totals wall gate (default 15)
 //   --rss-threshold-pct <p>   peak-RSS gate (default 50)
 //   --min-wall-ms <ms>        ignore spans below this in both runs (default 5)
+//   --quantile-threshold-pct <p> telemetry p50/p99 gate (default 40)
+//   --min-quantile-ms <ms>    ignore quantiles below this in both runs
+//                             (default 1)
 //   --cpu                     also gate span/total cpu_ms
 //   --warn-only               print the table but always exit 0
 #include <algorithm>
@@ -41,6 +44,10 @@ int usage() {
          "  --total-threshold-pct <p>  totals wall gate (default 15)\n"
          "  --rss-threshold-pct <p>    peak-RSS gate (default 50)\n"
          "  --min-wall-ms <ms>         noise floor for spans (default 5)\n"
+         "  --quantile-threshold-pct <p>  telemetry p50/p99 gate "
+         "(default 40)\n"
+         "  --min-quantile-ms <ms>     noise floor for quantiles "
+         "(default 1)\n"
          "  --cpu                      also gate cpu_ms\n"
          "  --warn-only                report regressions but exit 0\n";
   return 2;
@@ -96,6 +103,10 @@ int main(int argc, char** argv) {
         if (!next_double(options.rss_threshold_pct)) return usage();
       } else if (arg == "--min-wall-ms") {
         if (!next_double(options.min_wall_ms)) return usage();
+      } else if (arg == "--quantile-threshold-pct") {
+        if (!next_double(options.quantile_threshold_pct)) return usage();
+      } else if (arg == "--min-quantile-ms") {
+        if (!next_double(options.min_quantile_ms)) return usage();
       } else if (arg == "--cpu") {
         options.gate_cpu = true;
       } else if (arg == "--warn-only") {

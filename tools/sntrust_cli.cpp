@@ -41,11 +41,19 @@
 //                        per sweep before aborting (default 0 = strict;
 //                        same as SNTRUST_MAX_FAILED_FRAC). A degraded run
 //                        exits 75.
+//   --telemetry <path[:period_ms]>
+//                        Stream live telemetry frames (JSONL, schema v1:
+//                        counters, gauges, latency quantiles, resource
+//                        totals) to <path> every period_ms (default 1000)
+//                        while the run executes. Same as
+//                        SNTRUST_TELEMETRY; SNTRUST_TELEMETRY_PROM=<path>
+//                        adds a Prometheus text sink.
 // Progress lines for long sweeps appear on stderr with SNTRUST_PROGRESS=1.
 //
 // Exit codes: 0 success, 64 usage error, 65 bad input (unreadable or
 // malformed graph files), 75 interrupted or partial/degraded results,
 // 1 internal error.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -61,6 +69,7 @@
 #include "graph/stats.hpp"
 #include "markov/frontier.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/csv_sink.hpp"
@@ -94,7 +103,9 @@ int usage() {
                "  --checkpoint <path>  persist/restore per-source sweep "
                "progress (alias: --resume)\n"
                "  --max-failed-frac <f> tolerated failed-source fraction "
-               "per sweep (default 0)\n";
+               "per sweep (default 0)\n"
+               "  --telemetry <path[:period_ms]> stream live JSONL telemetry "
+               "frames during the run\n";
   return 64;  // EX_USAGE
 }
 
@@ -294,6 +305,19 @@ int main(int argc, char** argv) {
         if (frac < 0.0 || frac > 1.0) return usage();
         exec::set_max_failed_frac(frac);
         obs::RunReporter::instance().set_config("max_failed_frac", frac);
+        continue;
+      }
+      if (arg == "--telemetry") {
+        if (i + 1 >= argc) return usage();
+        // Same "path[:period_ms]" shape as SNTRUST_TELEMETRY; the exporter
+        // writes frame 0 immediately and a final frame at exit.
+        const obs::TelemetryOptions options =
+            obs::parse_telemetry_spec(argv[++i]);
+        if (options.jsonl_path.empty()) return usage();
+        obs::RunReporter::instance();  // report hook first, exporter stop second
+        obs::TelemetryExporter::instance().start(options);
+        obs::RunReporter::instance().set_config("telemetry",
+                                                options.jsonl_path);
         continue;
       }
       args.push_back(arg);
