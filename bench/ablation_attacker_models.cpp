@@ -18,8 +18,7 @@ int main() {
   bench::Section section{"Ablation A8: attacker edge-placement strategies"};
 
   const Graph honest =
-      dataset_by_id("wiki_vote").generate(bench::dataset_scale(0.3),
-                                          bench::kBenchSeed);
+      bench::dataset_graph(dataset_by_id("wiki_vote"), 0.3);
   std::cout << "Wiki-vote analogue, n=" << honest.num_vertices()
             << "; Sybil region n/4 behind n/60 attack edges; trusted node "
                "0.\n\n";

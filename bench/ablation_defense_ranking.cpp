@@ -24,8 +24,7 @@ int main() {
   bench::Section section{"Ablation A2: defense ranking agreement"};
 
   const Graph honest =
-      dataset_by_id("wiki_vote").generate(bench::dataset_scale(0.2),
-                                          bench::kBenchSeed);
+      bench::dataset_graph(dataset_by_id("wiki_vote"), 0.2);
   AttackParams attack;
   attack.num_sybils = honest.num_vertices() / 4;
   attack.attack_edges = std::max<std::uint32_t>(5, honest.num_vertices() / 100);

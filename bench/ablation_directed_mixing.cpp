@@ -20,7 +20,7 @@ int main() {
   for (const char* id : {"wiki_vote", "slashdot_a", "epinion"}) {
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph base =
-        spec.generate(bench::dataset_scale(0.2), bench::kBenchSeed);
+        bench::dataset_graph(spec, 0.2);
 
     bool first = true;
     for (const double reciprocity : {1.0, 0.5, 0.1}) {

@@ -44,7 +44,7 @@ int main() {
   std::vector<double> mus, alphas;
   for (const DatasetSpec& spec : all_datasets()) {
     const Graph g =
-        spec.generate(bench::dataset_scale(0.25), bench::kBenchSeed);
+        bench::dataset_graph(spec, 0.25);
 
     SlemOptions slem_options;
     slem_options.seed = bench::kBenchSeed;

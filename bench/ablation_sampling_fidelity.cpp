@@ -29,8 +29,7 @@ int main() {
   bench::Section section{"Ablation A7: property fidelity under sampling"};
 
   const Graph full =
-      dataset_by_id("epinion").generate(bench::dataset_scale(0.3),
-                                        bench::kBenchSeed);
+      bench::dataset_graph(dataset_by_id("epinion"), 0.3);
   const VertexId k = full.num_vertices() / 5;
   std::cout << "full graph: Epinion analogue, n=" << full.num_vertices()
             << ", sample size k=" << k << "\n\n";

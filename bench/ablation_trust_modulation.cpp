@@ -18,11 +18,9 @@ int main() {
   bench::Section section{"Ablation A4: trust modulation vs mixing time"};
 
   const Graph fast =
-      dataset_by_id("wiki_vote").generate(bench::dataset_scale(0.5),
-                                          bench::kBenchSeed);
+      bench::dataset_graph(dataset_by_id("wiki_vote"), 0.5);
   const Graph slow =
-      dataset_by_id("physics_1").generate(bench::dataset_scale(1.0),
-                                          bench::kBenchSeed);
+      bench::dataset_graph(dataset_by_id("physics_1"), 1.0);
   std::cout << "fast analogue (Wiki-vote): n=" << fast.num_vertices()
             << ", slow analogue (Physics 1): n=" << slow.num_vertices()
             << "\n\n";

@@ -22,7 +22,7 @@ int main() {
         "facebook_a"}) {
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph g =
-        spec.generate(bench::dataset_scale(0.25), bench::kBenchSeed);
+        bench::dataset_graph(spec, 0.25);
 
     // Entropy trajectory from one representative sender (vertex 0).
     const AnonymityCurve curve =

@@ -24,7 +24,7 @@ int main() {
                          "physics_2", "facebook_a"}) {
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph honest =
-        spec.generate(bench::dataset_scale(0.15), bench::kBenchSeed);
+        bench::dataset_graph(spec, 0.15);
 
     SlemOptions slem_options;
     slem_options.seed = bench::kBenchSeed;

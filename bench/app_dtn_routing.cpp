@@ -18,7 +18,7 @@ int main() {
        {"rice_grad", "physics_1", "wiki_vote", "facebook_a"}) {
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph g =
-        spec.generate(bench::dataset_scale(0.2), bench::kBenchSeed);
+        bench::dataset_graph(spec, 0.2);
 
     bool first = true;
     for (const DtnPolicy policy :

@@ -20,7 +20,7 @@ int main() {
                          "facebook_a"}) {
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph honest =
-        spec.generate(bench::dataset_scale(0.15), bench::kBenchSeed);
+        bench::dataset_graph(spec, 0.15);
 
     // Same *relative* attack intensity on every dataset, so the poison rate
     // differences reflect the graph's mixing class, not the edge budget.

@@ -19,7 +19,7 @@ void run_panel(const std::string& title,
   for (const std::string& id : ids) {
     bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
-    const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
+    const Graph g = bench::dataset_graph(spec);
     MixingOptions options;
     options.num_sources = 10;
     options.max_walk_length = max_walk;

@@ -18,7 +18,7 @@ void run_panel(const std::string& title,
   for (const std::string& id : ids) {
     bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
-    const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
+    const Graph g = bench::dataset_graph(spec);
     const CoreDecomposition cores = core_decomposition(g);
     const std::vector<double> ecdf = coreness_ecdf(cores);
     std::vector<double> x, y;

@@ -16,7 +16,7 @@ static int run_bench() {
   for (const std::string& id : figure3_ids()) {
     bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
-    const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
+    const Graph g = bench::dataset_graph(spec);
     ExpansionOptions options;
     // The paper's O(nm) full sweep is feasible for small graphs; sample
     // sources on the larger ones.

@@ -17,7 +17,7 @@ void run_panel(const std::string& title,
   for (const std::string& id : ids) {
     bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
-    const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
+    const Graph g = bench::dataset_graph(spec);
     ExpansionOptions options;
     options.num_sources = g.num_vertices() <= 5000 ? 0 : 2000;
     options.seed = bench::kBenchSeed;

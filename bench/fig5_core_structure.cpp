@@ -16,7 +16,7 @@ static int run_bench() {
     for (const std::string& id : figure5_ids()) {
       bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
-      const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
+      const Graph g = bench::dataset_graph(spec);
       const auto levels = core_profile(g);
       std::vector<double> x, nu, components;
       const std::size_t step = std::max<std::size_t>(1, levels.size() / 20);

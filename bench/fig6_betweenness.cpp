@@ -25,7 +25,7 @@ static int run_bench() {
     bench::DatasetTimer dataset_timer;
     const DatasetSpec& spec = dataset_by_id(id);
     const Graph g =
-        spec.generate(bench::dataset_scale(0.15), bench::kBenchSeed);
+        bench::dataset_graph(spec, 0.15);
 
     CentralityOptions options;
     options.num_sources = std::min<VertexId>(g.num_vertices(), 600);

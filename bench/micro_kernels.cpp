@@ -66,8 +66,8 @@ int main() {
   // SNTRUST_KERNEL_BENCH_DATASET to see the auto kernel degrade gracefully.
   const Graph g = [&] {
     const bench::Section section{"generate"};
-    return dataset_by_id(env_string("SNTRUST_KERNEL_BENCH_DATASET", "dblp"))
-        .generate(bench::dataset_scale(), bench::kBenchSeed);
+    return bench::dataset_graph(
+        dataset_by_id(env_string("SNTRUST_KERNEL_BENCH_DATASET", "dblp")));
   }();
   std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
             << "\n\n";

@@ -21,7 +21,7 @@ static int run_bench() {
                "class"}};
   for (const DatasetSpec& spec : all_datasets()) {
     bench::DatasetTimer dataset_timer;
-    const Graph g = spec.generate(bench::dataset_scale(), bench::kBenchSeed);
+    const Graph g = bench::dataset_graph(spec);
     SlemOptions options;
     options.seed = bench::kBenchSeed;
     const SlemResult slem = second_largest_eigenvalue(g, options);

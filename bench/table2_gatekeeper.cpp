@@ -24,7 +24,7 @@ static int run_bench() {
     const DatasetSpec& spec = dataset_by_id(id);
     // Table II's graphs are large; keep the admission experiment affordable.
     const Graph honest =
-        spec.generate(bench::dataset_scale(0.12), bench::kBenchSeed);
+        bench::dataset_graph(spec, 0.12);
 
     // A large Sybil region behind proportionally few attack edges, so the
     // per-edge bound is visible rather than saturated by a tiny region.

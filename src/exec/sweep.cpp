@@ -48,11 +48,11 @@ std::int64_t source_budget_ms() {
 }
 
 std::uint64_t graph_fingerprint(const Graph& graph) {
-  std::uint64_t h = fingerprint(
-      {graph.offsets().size(), graph.targets().size()});
-  for (const EdgeIndex offset : graph.offsets()) h = stream_seed(h, offset);
-  for (const VertexId target : graph.targets()) h = stream_seed(h, target);
-  return h;
+  // Same splitmix64 chain as ever, now computed (and cached) by the graph
+  // itself: snapshot loads seed the cache from their verified header, so a
+  // mapped graph keys checkpoints identically to a parsed one without the
+  // O(n + m) rescan.
+  return graph.fingerprint();
 }
 
 SweepResult run_sweep(std::size_t items, const SweepOptions& options,

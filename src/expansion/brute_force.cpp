@@ -14,7 +14,7 @@ std::uint32_t boundary_size(const Graph& g, std::uint32_t mask) {
   std::uint32_t boundary = 0;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if ((mask >> v) & 1u) {
-      for (const VertexId w : g.neighbors(v))
+      for (const VertexId w : g.neighbors_unchecked(v))
         if (((mask >> w) & 1u) == 0) boundary |= 1u << w;
     }
   }
@@ -30,7 +30,7 @@ bool mask_connected(const Graph& g, std::uint32_t mask) {
     std::uint32_t next = 0;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if ((frontier >> v) & 1u) {
-        for (const VertexId w : g.neighbors(v)) {
+        for (const VertexId w : g.neighbors_unchecked(v)) {
           const std::uint32_t bit = 1u << w;
           if ((mask & bit) != 0 && (seen & bit) == 0) next |= bit;
         }

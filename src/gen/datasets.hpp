@@ -54,6 +54,14 @@ struct DatasetSpec {
   /// `seed`.
   Graph generate(double scale, std::uint64_t seed) const;
   Graph generate(std::uint64_t seed) const { return generate(1.0, seed); }
+
+  /// Full-paper-scale analogue: cancels default_scale so the generator
+  /// targets the Table-I vertex count itself (livejournal ~4.8M vertices).
+  /// Expect minutes of generation and GBs of CSR for the largest entries —
+  /// pair with graph/snapshot.hpp so the cost is paid once.
+  Graph generate_full(std::uint64_t seed) const {
+    return generate(1.0 / default_scale, seed);
+  }
 };
 
 class Digraph;  // digraph/digraph.hpp

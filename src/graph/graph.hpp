@@ -5,9 +5,21 @@
 // (once in each endpoint's adjacency span); adjacency spans are sorted, which
 // lets neighbour tests run in O(log deg) and makes iteration order
 // deterministic.
+//
+// Storage is decoupled from the view: a Graph either owns its CSR arrays
+// (built from vectors, fully validated) or adopts externally owned memory —
+// the zero-copy mmap snapshot path (graph/snapshot.hpp), where a keepalive
+// handle pins the mapping for the graph's lifetime and integrity comes from
+// the snapshot CRC instead of the O(m log deg) structural validation.
+// Copies are shallow: they share the storage and the per-graph caches
+// (structural fingerprint, layout engines), so passing a Graph by value is
+// cheap and never duplicates a multi-GB adjacency.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -24,16 +36,40 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
+/// Physical layout of the hot-loop adjacency substrate (graph/layout.hpp).
+/// kPlain is the external-id CSR itself — the correctness oracle; the other
+/// layouts relabel vertices by descending degree and back their rows with
+/// raw or varint-compressed storage. Selected process-wide via
+/// SNTRUST_LAYOUT; every layout produces bitwise-identical measured results.
+enum class GraphLayout : int {
+  kPlain = 0,       ///< external-id CSR, no relabeling (default, oracle)
+  kHilo = 1,        ///< degree-ordered; hub rows raw, low-degree tail varint
+  kCompressed = 2,  ///< degree-ordered; every row varint-delta compressed
+};
+
+class LayoutData;   // graph/layout.hpp
+struct GraphAux;    // internal per-graph cache block (graph.cpp)
+
 class Graph {
  public:
   /// Empty graph (0 vertices).
-  Graph() = default;
+  Graph();
 
   /// Builds from CSR arrays. `offsets` has n+1 entries; `targets[offsets[v] ..
   /// offsets[v+1])` are v's neighbours, sorted ascending. Validated; throws
   /// std::invalid_argument on malformed input (unsorted spans, self loops,
   /// duplicate neighbours, asymmetric adjacency, out-of-range targets).
   Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets);
+
+  /// Zero-copy view over externally owned CSR arrays; `keepalive` pins the
+  /// backing memory (an mmap) for the graph's lifetime. `deep_validate`
+  /// runs the full structural validation; snapshot loads pass false and
+  /// rely on the format CRC, so only the O(1) header invariants are checked
+  /// (throws std::invalid_argument when they fail).
+  static Graph adopt(std::span<const EdgeIndex> offsets,
+                     std::span<const VertexId> targets,
+                     std::shared_ptr<const void> keepalive,
+                     bool deep_validate = false);
 
   /// Number of vertices n.
   VertexId num_vertices() const noexcept {
@@ -46,14 +82,25 @@ class Graph {
   /// deg(v). Precondition: v < num_vertices().
   VertexId degree(VertexId v) const {
     check_vertex(v);
-    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+    return degree_unchecked(v);
   }
 
   /// Sorted neighbour span of v. Precondition: v < num_vertices().
   std::span<const VertexId> neighbors(VertexId v) const {
     check_vertex(v);
-    return {targets_.data() + offsets_[v],
-            targets_.data() + offsets_[v + 1]};
+    return neighbors_unchecked(v);
+  }
+
+  /// Unchecked accessors for O(m·t) inner loops: the precondition is an
+  /// assert in debug builds and undefined behaviour in release. API
+  /// boundaries keep the checked versions.
+  VertexId degree_unchecked(VertexId v) const noexcept {
+    assert(v < num_vertices());
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+  std::span<const VertexId> neighbors_unchecked(VertexId v) const noexcept {
+    assert(v < num_vertices());
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
   }
 
   /// True when {u,v} is an edge. O(log deg(u)).
@@ -63,18 +110,41 @@ class Graph {
   std::vector<Edge> edges() const;
 
   /// Raw CSR arrays (for serialization and operators that walk the whole
-  /// adjacency structure in one pass).
-  const std::vector<EdgeIndex>& offsets() const noexcept { return offsets_; }
-  const std::vector<VertexId>& targets() const noexcept { return targets_; }
+  /// adjacency structure in one pass). Spans stay valid for the lifetime of
+  /// any Graph sharing this storage.
+  std::span<const EdgeIndex> offsets() const noexcept { return offsets_; }
+  std::span<const VertexId> targets() const noexcept { return targets_; }
 
-  friend bool operator==(const Graph&, const Graph&) = default;
+  /// Structural equality (same CSR contents, regardless of storage backend).
+  friend bool operator==(const Graph& a, const Graph& b);
+
+  /// Structural fingerprint (splitmix64 chain over sizes + CSR contents) —
+  /// the value exec::graph_fingerprint keys checkpoints with. Computed once
+  /// and cached across copies; snapshot loads seed the cache from the
+  /// verified header so a mapped multi-GB graph never pays the O(n + m)
+  /// rescan, and checkpoints key identically across the parse and mmap
+  /// load paths.
+  std::uint64_t fingerprint() const;
+  std::optional<std::uint64_t> cached_fingerprint() const;
+  void set_cached_fingerprint(std::uint64_t fingerprint) const;
+
+  /// The layout engine for this graph, built lazily on first acquisition
+  /// and cached (shared across copies). Returns nullptr for kPlain — the
+  /// graph itself is the plain layout. See graph/layout.hpp.
+  std::shared_ptr<const LayoutData> layout(GraphLayout which) const;
 
  private:
+  Graph(std::span<const EdgeIndex> offsets, std::span<const VertexId> targets,
+        std::shared_ptr<const void> storage, bool deep_validate);
+
   void check_vertex(VertexId v) const;
   void validate() const;
+  void validate_header() const;
 
-  std::vector<EdgeIndex> offsets_{0};
-  std::vector<VertexId> targets_;
+  std::span<const EdgeIndex> offsets_;
+  std::span<const VertexId> targets_;
+  std::shared_ptr<const void> storage_;  ///< owns vectors or pins an mmap
+  std::shared_ptr<GraphAux> aux_;        ///< fingerprint + layout caches
 };
 
 }  // namespace sntrust

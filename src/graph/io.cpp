@@ -14,6 +14,7 @@
 
 #include "exec/fault.hpp"
 #include "graph/builder.hpp"
+#include "graph/snapshot.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -165,6 +166,19 @@ Graph read_binary_file(const std::string& path) {
           static_cast<std::streamsize>(targets.size() * sizeof(VertexId)));
   if (!in) throw IoError("binary graph: truncated file " + path);
   return Graph{std::move(offsets), std::move(targets)};  // validates
+}
+
+Graph read_graph_auto(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw IoError("cannot open graph: " + path);
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.close();
+  if (in.gcount() == sizeof magic) {
+    if (magic == kSnapshotMagic) return load_snapshot(path);
+    if (magic == kBinaryMagic) return read_binary_file(path);
+  }
+  return read_edge_list_file(path);
 }
 
 }  // namespace sntrust

@@ -42,4 +42,8 @@ void write_binary_file(const Graph& g, const std::string& path);
 /// allocated, so a corrupt header cannot trigger a huge allocation.
 Graph read_binary_file(const std::string& path);
 
+/// Loads a graph from any supported on-disk format, sniffed by magic:
+/// mmap snapshot (graph/snapshot.hpp), binary CSR, else text edge list.
+Graph read_graph_auto(const std::string& path);
+
 }  // namespace sntrust

@@ -1,0 +1,192 @@
+#include "graph/layout.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <numeric>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/env.hpp"
+
+namespace sntrust {
+
+namespace {
+
+/// Runtime override of the process-wide layout; -1 = none.
+std::atomic<int> g_layout_override{-1};
+
+int env_layout() {
+  static const int layout = [] {
+    const std::optional<GraphLayout> parsed =
+        parse_graph_layout(env_string("SNTRUST_LAYOUT", "plain"));
+    return static_cast<int>(parsed.value_or(GraphLayout::kPlain));
+  }();
+  return layout;
+}
+
+}  // namespace
+
+std::string to_string(GraphLayout layout) {
+  switch (layout) {
+    case GraphLayout::kPlain: return "plain";
+    case GraphLayout::kHilo: return "hilo";
+    case GraphLayout::kCompressed: return "compressed";
+  }
+  return "?";
+}
+
+std::optional<GraphLayout> parse_graph_layout(const std::string& text) {
+  std::string value{text};
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (value == "plain") return GraphLayout::kPlain;
+  if (value == "hilo") return GraphLayout::kHilo;
+  if (value == "compressed") return GraphLayout::kCompressed;
+  return std::nullopt;
+}
+
+GraphLayout graph_layout() {
+  const int override_layout = g_layout_override.load(std::memory_order_relaxed);
+  if (override_layout >= 0) return static_cast<GraphLayout>(override_layout);
+  return static_cast<GraphLayout>(env_layout());
+}
+
+void set_graph_layout(GraphLayout layout) {
+  g_layout_override.store(static_cast<int>(layout), std::memory_order_relaxed);
+}
+
+void clear_graph_layout_override() {
+  g_layout_override.store(-1, std::memory_order_relaxed);
+}
+
+ScopedGraphLayout::ScopedGraphLayout(GraphLayout layout)
+    : previous_(g_layout_override.load(std::memory_order_relaxed)) {
+  set_graph_layout(layout);
+}
+
+ScopedGraphLayout::~ScopedGraphLayout() {
+  g_layout_override.store(previous_, std::memory_order_relaxed);
+}
+
+VertexId hilo_degree_cutoff() {
+  static const VertexId cutoff = static_cast<VertexId>(
+      std::max<std::int64_t>(1, env_int("SNTRUST_LAYOUT_HILO_CUTOFF", 4)));
+  return cutoff;
+}
+
+RelabelMap degree_order(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  RelabelMap map;
+  map.to_external.resize(n);
+  std::iota(map.to_external.begin(), map.to_external.end(), VertexId{0});
+  // Descending degree, ties ascending by external id: a total order, so the
+  // permutation is deterministic (no stable_sort needed).
+  std::sort(map.to_external.begin(), map.to_external.end(),
+            [&](VertexId a, VertexId b) {
+              const VertexId da = g.degree_unchecked(a);
+              const VertexId db = g.degree_unchecked(b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+  map.to_internal.resize(n);
+  for (VertexId iv = 0; iv < n; ++iv)
+    map.to_internal[map.to_external[iv]] = iv;
+  return map;
+}
+
+void append_uvarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+const std::uint8_t* decode_uvarint(const std::uint8_t* p,
+                                   std::uint64_t& value) noexcept {
+  std::uint64_t result = 0;
+  unsigned shift = 0;
+  while (*p & 0x80) {
+    result |= static_cast<std::uint64_t>(*p & 0x7f) << shift;
+    shift += 7;
+    ++p;
+  }
+  value = result | (static_cast<std::uint64_t>(*p) << shift);
+  return p + 1;
+}
+
+std::shared_ptr<const LayoutData> LayoutData::build(const Graph& g,
+                                                    GraphLayout layout) {
+  if (layout == GraphLayout::kPlain)
+    throw std::invalid_argument("LayoutData::build: plain has no engine");
+  const obs::Span span{"layout.build", "graph"};
+
+  auto data = std::shared_ptr<LayoutData>(new LayoutData());
+  data->layout_ = layout;
+  data->map_ = degree_order(g);
+  const VertexId n = g.num_vertices();
+  data->num_targets_ = g.targets().size();
+
+  data->int_degree_.resize(n);
+  data->degree_double_.resize(n);
+  for (VertexId iv = 0; iv < n; ++iv) {
+    const VertexId deg = g.degree_unchecked(data->map_.to_external[iv]);
+    data->int_degree_[iv] = deg;
+    data->degree_double_[iv] = static_cast<double>(deg);
+  }
+
+  // hilo keeps the raw prefix of rows with degree >= cutoff; degrees are
+  // descending in internal order, so the prefix property holds by
+  // construction. compressed packs everything.
+  VertexId hi = 0;
+  if (layout == GraphLayout::kHilo) {
+    const VertexId cutoff = hilo_degree_cutoff();
+    while (hi < n && data->int_degree_[hi] >= cutoff) ++hi;
+  }
+  data->hi_count_ = hi;
+
+  data->hi_offsets_.assign(hi + 1, 0);
+  for (VertexId iv = 0; iv < hi; ++iv)
+    data->hi_offsets_[iv + 1] = data->hi_offsets_[iv] + data->int_degree_[iv];
+  data->hi_targets_.resize(data->hi_offsets_[hi]);
+
+  data->lo_offsets_.assign(n - hi + 1, 0);
+  EdgeIndex lo_degree_total = 0;
+  for (VertexId iv = hi; iv < n; ++iv) lo_degree_total += data->int_degree_[iv];
+  // Varint bytes per target are bounded by 5 (32-bit ids zigzagged fit in
+  // 35 bits); reserving the common case (short deltas) avoids rehashing.
+  data->blob_.reserve(lo_degree_total * 2);
+
+  const auto& to_internal = data->map_.to_internal;
+  for (VertexId iv = 0; iv < n; ++iv) {
+    const VertexId v = data->map_.to_external[iv];
+    const std::span<const VertexId> row = g.neighbors_unchecked(v);
+    if (iv < hi) {
+      VertexId* out = data->hi_targets_.data() + data->hi_offsets_[iv];
+      for (const VertexId w : row) *out++ = to_internal[w];
+    } else {
+      std::int64_t prev = 0;
+      for (const VertexId w : row) {
+        const std::int64_t value = static_cast<std::int64_t>(to_internal[w]);
+        append_uvarint(data->blob_, zigzag_encode(value - prev));
+        prev = value;
+      }
+      data->lo_offsets_[iv - hi + 1] = data->blob_.size();
+    }
+  }
+  data->blob_.shrink_to_fit();
+
+  obs::count("layout.builds", 1);
+  obs::count("layout.adjacency_bytes", data->adjacency_bytes());
+  return data;
+}
+
+std::uint64_t LayoutData::adjacency_bytes() const noexcept {
+  return hi_targets_.size() * sizeof(VertexId) +
+         hi_offsets_.size() * sizeof(EdgeIndex) +
+         lo_offsets_.size() * sizeof(EdgeIndex) + blob_.size();
+}
+
+}  // namespace sntrust

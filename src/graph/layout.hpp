@@ -1,0 +1,190 @@
+// Degree-ordered, optionally compressed adjacency layouts — the hot-loop
+// substrate behind SNTRUST_LAYOUT.
+//
+// The paper's measurement loops (distribution-evolution matvecs, frontier
+// gathers, direction-optimizing BFS) are bound by random access into
+// n-sized state vectors indexed by the *target* vertex of each edge. Social
+// graphs are heavy-tailed: a small hub prefix absorbs most edge endpoints,
+// so relabeling vertices by descending degree packs the hot entries of
+// every such vector into a cache-resident prefix. On top of the relabeled
+// id space two storage backends trade memory for access cost:
+//
+//   hilo        hub rows (degree >= hilo cutoff) stay raw uint32 arrays with
+//               O(1) random access; the long low-degree tail is packed as
+//               zigzag-varint deltas (tail neighbours are mostly hubs =
+//               small internal ids, so deltas are short),
+//   compressed  every row varint-packed — smallest footprint, decode on
+//               every touch.
+//
+// Determinism contract (extends DESIGN §8/§10): each relabeled row stores
+// its targets in the *external-ascending* order of the plain CSR, only
+// renumbered. A gather over the row therefore adds exactly the same doubles
+// in exactly the same sequence as the plain kernel, so every layout (and
+// every thread count) produces bitwise-identical measured results; results
+// are mapped back to external ids before any reduction. The plain layout is
+// the correctness oracle and stays the default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sntrust {
+
+std::string to_string(GraphLayout layout);
+/// Parses "plain" / "hilo" / "compressed" (case-insensitive).
+std::optional<GraphLayout> parse_graph_layout(const std::string& text);
+
+/// Process-wide layout: the runtime override if set, else SNTRUST_LAYOUT
+/// (default plain).
+GraphLayout graph_layout();
+/// Runtime override of the process-wide layout (tests, --layout).
+void set_graph_layout(GraphLayout layout);
+/// Drops the runtime override, restoring the SNTRUST_LAYOUT default.
+void clear_graph_layout_override();
+
+/// RAII layout override; restores the previous state on destruction.
+class ScopedGraphLayout {
+ public:
+  explicit ScopedGraphLayout(GraphLayout layout);
+  ~ScopedGraphLayout();
+  ScopedGraphLayout(const ScopedGraphLayout&) = delete;
+  ScopedGraphLayout& operator=(const ScopedGraphLayout&) = delete;
+
+ private:
+  int previous_;  // encoded previous override (-1 = none)
+};
+
+/// Degree cutoff for the hilo split: internal rows with degree >= cutoff
+/// stay raw. SNTRUST_LAYOUT_HILO_CUTOFF (default 4, min 1). The default is
+/// tuned with bench/micro_layout: raw-row gathers run at memory speed while
+/// varint decode costs ~3x per edge, so only the degree <= 3 tail (where a
+/// row fits in one cache line regardless) trades decode cost for footprint.
+VertexId hilo_degree_cutoff();
+
+/// External <-> internal vertex renumbering. Internal ids order vertices by
+/// descending degree, ties broken by ascending external id — a total order,
+/// so the map is deterministic for a given graph.
+struct RelabelMap {
+  std::vector<VertexId> to_internal;  ///< external id -> internal id
+  std::vector<VertexId> to_external;  ///< internal id -> external id
+};
+
+/// Builds the degree-descending relabeling of `g`.
+RelabelMap degree_order(const Graph& g);
+
+// Unsigned LEB128 varint + zigzag codec (exposed for tests).
+void append_uvarint(std::vector<std::uint8_t>& out, std::uint64_t value);
+const std::uint8_t* decode_uvarint(const std::uint8_t* p,
+                                   std::uint64_t& value) noexcept;
+constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Immutable layout engine built from a Graph (acquired via Graph::layout(),
+/// which caches one instance per layout across all copies of the graph).
+/// All row accessors take *internal* ids and yield *internal* target ids in
+/// the row's external-ascending source order.
+class LayoutData {
+ public:
+  /// Builds the engine; `layout` must not be kPlain.
+  static std::shared_ptr<const LayoutData> build(const Graph& g,
+                                                 GraphLayout layout);
+
+  GraphLayout layout() const noexcept { return layout_; }
+  VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(int_degree_.size());
+  }
+  EdgeIndex num_targets() const noexcept { return num_targets_; }
+  const RelabelMap& map() const noexcept { return map_; }
+
+  /// deg of internal vertex iv (layout-invariant: relabeling permutes,
+  /// never changes, degrees).
+  VertexId int_degree(VertexId iv) const noexcept { return int_degree_[iv]; }
+  /// Degrees as doubles, for the matvec divide (int -> double is exact).
+  const std::vector<double>& degree_double() const noexcept {
+    return degree_double_;
+  }
+
+  /// Number of leading internal ids whose rows are stored raw.
+  VertexId hi_count() const noexcept { return hi_count_; }
+  /// Raw row of internal id iv < hi_count().
+  std::span<const VertexId> hi_row(VertexId iv) const noexcept {
+    return {hi_targets_.data() + hi_offsets_[iv],
+            hi_targets_.data() + hi_offsets_[iv + 1]};
+  }
+
+  /// Fused row iteration: f(internal_target) per neighbour, in the row's
+  /// stored order. Compressed rows decode inline — no scratch buffer.
+  template <typename F>
+  void for_each_target(VertexId iv, F&& f) const {
+    if (iv < hi_count_) {
+      for (const VertexId w : hi_row(iv)) f(w);
+      return;
+    }
+    const std::uint8_t* p = blob_.data() + lo_offsets_[iv - hi_count_];
+    const std::uint8_t* const end =
+        blob_.data() + lo_offsets_[iv - hi_count_ + 1];
+    std::int64_t value = 0;
+    while (p < end) {
+      std::uint64_t raw;
+      p = decode_uvarint(p, raw);
+      value += zigzag_decode(raw);
+      f(static_cast<VertexId>(value));
+    }
+  }
+
+  /// Early-exit row scan: returns true at the first neighbour for which
+  /// pred(internal_target) is true (stops decoding there), else false.
+  template <typename Pred>
+  bool any_target(VertexId iv, Pred&& pred) const {
+    if (iv < hi_count_) {
+      for (const VertexId w : hi_row(iv))
+        if (pred(w)) return true;
+      return false;
+    }
+    const std::uint8_t* p = blob_.data() + lo_offsets_[iv - hi_count_];
+    const std::uint8_t* const end =
+        blob_.data() + lo_offsets_[iv - hi_count_ + 1];
+    std::int64_t value = 0;
+    while (p < end) {
+      std::uint64_t raw;
+      p = decode_uvarint(p, raw);
+      value += zigzag_decode(raw);
+      if (pred(static_cast<VertexId>(value))) return true;
+    }
+    return false;
+  }
+
+  /// Adjacency bytes this layout holds (raw rows + varint blob + offsets);
+  /// the plain CSR costs 4 bytes per target + 8 per offset entry.
+  std::uint64_t adjacency_bytes() const noexcept;
+
+ private:
+  LayoutData() = default;
+
+  GraphLayout layout_ = GraphLayout::kHilo;
+  RelabelMap map_;
+  EdgeIndex num_targets_ = 0;
+
+  std::vector<VertexId> int_degree_;    // by internal id
+  std::vector<double> degree_double_;   // by internal id
+
+  VertexId hi_count_ = 0;
+  std::vector<EdgeIndex> hi_offsets_;   // hi_count_ + 1 entries
+  std::vector<VertexId> hi_targets_;
+
+  std::vector<EdgeIndex> lo_offsets_;   // byte offsets, n - hi_count_ + 1
+  std::vector<std::uint8_t> blob_;      // zigzag-varint row payloads
+};
+
+}  // namespace sntrust

@@ -12,7 +12,7 @@ DegreeStats degree_stats(const Graph& g) {
   if (n == 0) throw std::invalid_argument("degree_stats: empty graph");
   DegreeStats out;
   std::vector<VertexId> degrees(n);
-  for (VertexId v = 0; v < n; ++v) degrees[v] = g.degree(v);
+  for (VertexId v = 0; v < n; ++v) degrees[v] = g.degree_unchecked(v);
   out.min = *std::min_element(degrees.begin(), degrees.end());
   out.max = *std::max_element(degrees.begin(), degrees.end());
   out.mean = 2.0 * static_cast<double>(g.num_edges()) / n;
@@ -32,10 +32,10 @@ namespace {
 std::uint64_t count_triangles(const Graph& g) {
   std::uint64_t triangles = 0;
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    const auto nu = g.neighbors(u);
+    const auto nu = g.neighbors_unchecked(u);
     for (const VertexId v : nu) {
       if (v <= u) continue;
-      const auto nv = g.neighbors(v);
+      const auto nv = g.neighbors_unchecked(v);
       // Intersect neighbours of u and v that are > v: each match closes a
       // triangle u < v < w counted exactly once.
       auto iu = std::upper_bound(nu.begin(), nu.end(), v);
@@ -53,7 +53,7 @@ std::uint64_t count_triangles(const Graph& g) {
 std::uint64_t count_wedges(const Graph& g) {
   std::uint64_t wedges = 0;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const std::uint64_t d = g.degree(v);
+    const std::uint64_t d = g.degree_unchecked(v);
     wedges += d * (d - 1) / 2;
   }
   return wedges;
@@ -73,12 +73,12 @@ double average_local_clustering(const Graph& g) {
   if (n == 0) return 0.0;
   double total = 0.0;
   for (VertexId v = 0; v < n; ++v) {
-    const auto nbrs = g.neighbors(v);
+    const auto nbrs = g.neighbors_unchecked(v);
     const std::size_t d = nbrs.size();
     if (d < 2) continue;
     std::uint64_t links = 0;
     for (std::size_t i = 0; i < d; ++i) {
-      const auto ni = g.neighbors(nbrs[i]);
+      const auto ni = g.neighbors_unchecked(nbrs[i]);
       for (std::size_t j = i + 1; j < d; ++j)
         if (std::binary_search(ni.begin(), ni.end(), nbrs[j])) ++links;
     }
@@ -99,10 +99,10 @@ double degree_assortativity(const Graph& g) {
   double sum_half_squares = 0.0;
   std::uint64_t m = 0;
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    const double du = g.degree(u);
+    const double du = g.degree_unchecked(u);
     for (const VertexId w : g.neighbors(u)) {
       if (w <= u) continue;
-      const double dw = g.degree(w);
+      const double dw = g.degree_unchecked(w);
       sum_products += du * dw;
       sum_half += 0.5 * (du + dw);
       sum_half_squares += 0.5 * (du * du + dw * dw);

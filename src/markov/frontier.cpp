@@ -107,7 +107,8 @@ double support_tvd(const Distribution& p, const std::vector<VertexId>& support,
 }
 
 FrontierWalk::FrontierWalk(const Graph& g)
-    : FrontierWalk(g, Options{kernel_mode(), kernel_dense_fraction()}) {}
+    : FrontierWalk(
+          g, Options{kernel_mode(), kernel_dense_fraction(), graph_layout()}) {}
 
 FrontierWalk::FrontierWalk(const Graph& g, const Options& options)
     : graph_(g),
@@ -119,7 +120,10 @@ FrontierWalk::FrontierWalk(const Graph& g, const Options& options)
       sparse_steps_(obs::metrics_counter("kernel.sparse_steps")),
       dense_steps_(obs::metrics_counter("kernel.dense_steps")),
       frontier_edges_(obs::metrics_counter("kernel.frontier_edges")),
-      step_latency_(obs::metrics_quantile("kernel.step_ms")) {}
+      step_latency_(obs::metrics_quantile("kernel.step_ms")) {
+  if (options.layout != GraphLayout::kPlain)
+    matvec_.emplace(g, g.layout(options.layout));
+}
 
 void FrontierWalk::reset(VertexId source) {
   const VertexId n = graph_.num_vertices();
@@ -187,6 +191,10 @@ void FrontierWalk::clear_buffer() {
 }
 
 void FrontierWalk::dense_step(StepKind kind, double alpha) {
+  if (matvec_) {  // degree-ordered substrate; bitwise equal to the CSR path
+    matvec_->step(kind, alpha, p_, buffer_);
+    return;
+  }
   switch (kind) {
     case StepKind::kPlain:
       step_distribution(graph_, p_, buffer_);

@@ -22,6 +22,8 @@
 
 #include "graph/graph.hpp"
 #include "markov/distribution.hpp"
+#include "markov/layout_matvec.hpp"
+#include "markov/transition.hpp"  // StepKind
 
 namespace sntrust {
 namespace obs {
@@ -94,14 +96,6 @@ class StationaryPrefix {
 double support_tvd(const Distribution& p, const std::vector<VertexId>& support,
                    const Distribution& pi, const StationaryPrefix& prefix);
 
-/// The chain variant a step applies; the write expressions mirror the dense
-/// kernels in transition.cpp / modulated.cpp verbatim.
-enum class StepKind {
-  kPlain,      ///< out_v = (pP)_v
-  kLazy,       ///< out_v = 0.5 (pP)_v + 0.5 p_v
-  kModulated,  ///< out_v = alpha p_v + (1 - alpha) (pP)_v
-};
-
 /// Reusable frontier-walk workspace bound to one graph: a distribution, its
 /// sorted support, and the scratch needed to expand the frontier. Sweeps
 /// construct one per worker and reset() it per source.
@@ -119,6 +113,10 @@ class FrontierWalk {
     KernelMode mode = KernelMode::kAuto;
     /// Dense crossover as a fraction of 2m (see kernel_dense_fraction()).
     double dense_fraction = 0.5;
+    /// Adjacency substrate for the dense gathers (graph/layout.hpp). Plain
+    /// runs the CSR kernels directly; the degree-ordered layouts route
+    /// through LayoutMatvec. Bitwise identical either way.
+    GraphLayout layout = GraphLayout::kPlain;
   };
 
   /// Resolves mode / threshold from the process-wide defaults.
@@ -158,6 +156,7 @@ class FrontierWalk {
   const Graph& graph_;
   KernelMode mode_;
   double dense_fraction_;
+  std::optional<LayoutMatvec> matvec_;  // engaged when layout != plain
 
   Distribution p_, buffer_;
   std::vector<VertexId> support_;         // sorted support of p_

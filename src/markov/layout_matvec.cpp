@@ -1,0 +1,108 @@
+#include "markov/layout_matvec.hpp"
+
+#include <stdexcept>
+
+#include "parallel/parallel.hpp"
+
+namespace sntrust {
+
+namespace {
+
+/// Same chunking as the plain matvecs (transition.cpp): rows are short
+/// gathers, so only large graphs benefit from fanning out.
+constexpr std::size_t kMatvecGrain = 2048;
+
+}  // namespace
+
+LayoutMatvec::LayoutMatvec(const Graph& g,
+                           std::shared_ptr<const LayoutData> data)
+    : data_(std::move(data)) {
+  if (!data_)
+    throw std::invalid_argument("LayoutMatvec: null layout (plain has none)");
+  if (data_->num_vertices() != g.num_vertices())
+    throw std::invalid_argument("LayoutMatvec: layout built for another graph");
+  p_int_.resize(data_->num_vertices());
+  pscaled_.resize(data_->num_vertices());
+  out_int_.resize(data_->num_vertices());
+}
+
+void LayoutMatvec::step(StepKind kind, double alpha, const Distribution& p,
+                        Distribution& out) {
+  const VertexId n = data_->num_vertices();
+  if (p.size() != n)
+    throw std::invalid_argument("LayoutMatvec::step: size mismatch");
+  if (&p == &out)
+    throw std::invalid_argument("LayoutMatvec::step: out must not alias p");
+  out.resize(n);
+
+  const VertexId* const to_external = data_->map().to_external.data();
+  const VertexId* const to_internal = data_->map().to_internal.data();
+  const double* const degree = data_->degree_double().data();
+  const double* const src = p.data();
+  double* const p_int = p_int_.data();
+  double* const pscaled = pscaled_.data();
+  double* const out_int = out_int_.data();
+
+  // Permute in + pre-divide, fused. Each quotient is the exact double the
+  // plain kernel computes per edge (the skip-zero guard there only avoids
+  // work: 0/deg is +0.0, which a nonnegative accumulator absorbs bitwise).
+  // Isolated vertices yield 0/0 = NaN here, but a degree-0 vertex is never
+  // anyone's target, so the lane is never gathered.
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t iv, std::uint32_t) {
+        const double value = src[to_external[iv]];
+        p_int[iv] = value;
+        pscaled[iv] = value / degree[iv];
+      },
+      kMatvecGrain);
+
+  // Row gathers in internal space: strict stored order (no simd reduction —
+  // reassociation would break the bitwise contract).
+  const LayoutData& data = *data_;
+  switch (kind) {
+    case StepKind::kPlain:
+      parallel::parallel_for(
+          0, n,
+          [&](std::size_t iv, std::uint32_t) {
+            double acc = 0.0;
+            data.for_each_target(static_cast<VertexId>(iv),
+                                 [&](VertexId w) { acc += pscaled[w]; });
+            out_int[iv] = acc;
+          },
+          kMatvecGrain);
+      break;
+    case StepKind::kLazy:
+      parallel::parallel_for(
+          0, n,
+          [&](std::size_t iv, std::uint32_t) {
+            double acc = 0.0;
+            data.for_each_target(static_cast<VertexId>(iv),
+                                 [&](VertexId w) { acc += pscaled[w]; });
+            out_int[iv] = 0.5 * acc + 0.5 * p_int[iv];
+          },
+          kMatvecGrain);
+      break;
+    case StepKind::kModulated:
+      parallel::parallel_for(
+          0, n,
+          [&](std::size_t iv, std::uint32_t) {
+            double acc = 0.0;
+            data.for_each_target(static_cast<VertexId>(iv),
+                                 [&](VertexId w) { acc += pscaled[w]; });
+            out_int[iv] = alpha * p_int[iv] + (1.0 - alpha) * acc;
+          },
+          kMatvecGrain);
+      break;
+  }
+
+  // Permute out (gather form: each external row reads its own lane, so the
+  // pass parallelizes without write conflicts).
+  double* const dst = out.data();
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t v, std::uint32_t) { dst[v] = out_int[to_internal[v]]; },
+      kMatvecGrain);
+}
+
+}  // namespace sntrust

@@ -1,0 +1,57 @@
+// Distribution matvec over a degree-ordered layout (graph/layout.hpp).
+//
+// The plain kernels in transition.cpp walk each row and compute
+// `acc += p[w] / deg(w)` per edge: three random streams per target (the
+// distribution entry plus two offset words for the degree) and one divide
+// per edge. This engine restructures — never reassociates — that work:
+//
+//   1. permute the distribution into internal (degree-descending) id space
+//      and pre-divide once per vertex: pscaled[w] = p[w] / deg(w). Each
+//      quotient is the exact double the plain kernel computes per edge, now
+//      computed n times instead of m.
+//   2. gather rows in internal space: acc += pscaled[w]. One 8-byte stream,
+//      and the hub prefix that absorbs most heavy-tailed edge endpoints is
+//      cache-resident by construction.
+//   3. blend with the same expressions as the plain kernels and permute the
+//      result back to external ids.
+//
+// Bitwise identity with the plain kernels (the determinism contract of
+// graph/layout.hpp): rows store targets in the plain CSR's order, each
+// gathered term is the identical double, and zero entries contribute +0.0 —
+// which cannot change a nonnegative accumulator. SIMD hints go only on the
+// elementwise permute/scale passes; gathers stay in strict row order.
+#pragma once
+
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "graph/layout.hpp"
+#include "markov/distribution.hpp"
+#include "markov/transition.hpp"
+
+namespace sntrust {
+
+/// Reusable matvec workspace bound to one graph + layout engine (three
+/// n-sized scratch vectors). Not thread-safe; sweeps hold one per worker.
+class LayoutMatvec {
+ public:
+  /// `data` must come from `g.layout(...)` (non-plain). Throws
+  /// std::invalid_argument when it is null or sized for a different graph.
+  LayoutMatvec(const Graph& g, std::shared_ptr<const LayoutData> data);
+
+  /// One step of the chosen chain: reads `p`, writes `out` (resized), both
+  /// in external id space. `out` must not alias `p`. Bitwise identical to
+  /// step_distribution / step_distribution_lazy / step_modulated.
+  void step(StepKind kind, double alpha, const Distribution& p,
+            Distribution& out);
+
+  const LayoutData& data() const noexcept { return *data_; }
+
+ private:
+  std::shared_ptr<const LayoutData> data_;
+  Distribution p_int_;      // p permuted to internal ids
+  Distribution pscaled_;    // p_int / degree, the gathered stream
+  Distribution out_int_;    // result in internal ids
+};
+
+}  // namespace sntrust

@@ -7,6 +7,15 @@
 
 namespace sntrust {
 
+/// The chain variant a step applies; the write expressions mirror the dense
+/// kernels in transition.cpp / modulated.cpp verbatim. (Consumed by the
+/// frontier-sparse kernels and the layout matvec engine alike.)
+enum class StepKind {
+  kPlain,      ///< out_v = (pP)_v
+  kLazy,       ///< out_v = 0.5 (pP)_v + 0.5 p_v
+  kModulated,  ///< out_v = alpha p_v + (1 - alpha) (pP)_v
+};
+
 /// Applies one step of the simple random walk: out_w = sum_{v ~ w} p_v/deg(v).
 /// `out` is resized and overwritten; `out` must not alias `p`.
 void step_distribution(const Graph& g, const Distribution& p,

@@ -23,7 +23,7 @@ std::vector<VertexId> RandomWalker::walk(VertexId start, std::uint32_t length) {
   trail.push_back(start);
   VertexId at = start;
   for (std::uint32_t s = 0; s < length; ++s) {
-    const auto nbrs = graph_.neighbors(at);
+    const auto nbrs = graph_.neighbors_unchecked(at);
     at = nbrs[rng_.uniform(nbrs.size())];
     trail.push_back(at);
   }
@@ -39,7 +39,7 @@ VertexId RandomWalker::walk_endpoint(VertexId start, std::uint32_t length) {
         "RandomWalker::walk_endpoint: isolated start vertex");
   VertexId at = start;
   for (std::uint32_t s = 0; s < length; ++s) {
-    const auto nbrs = graph_.neighbors(at);
+    const auto nbrs = graph_.neighbors_unchecked(at);
     at = nbrs[rng_.uniform(nbrs.size())];
   }
   walk_steps_->add(length);
@@ -63,7 +63,7 @@ RouteTables::RouteTables(const Graph& g, std::uint64_t seed) : graph_(g) {
 }
 
 std::uint32_t RouteTables::slot_at_target(VertexId u, VertexId w) const {
-  const auto nbrs = graph_.neighbors(w);
+  const auto nbrs = graph_.neighbors_unchecked(w);
   const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), u);
   if (it == nbrs.end() || *it != u)
     throw std::logic_error("RouteTables: edge not found in reverse adjacency");
@@ -87,7 +87,7 @@ std::vector<VertexId> RouteTables::route(VertexId start,
   VertexId at = start;
   std::uint32_t slot = first_slot;
   for (std::uint32_t s = 0; s < length; ++s) {
-    const VertexId next = graph_.neighbors(at)[slot];
+    const VertexId next = graph_.neighbors_unchecked(at)[slot];
     const std::uint32_t in_slot = slot_at_target(at, next);
     trail.push_back(next);
     slot = out_slot(next, in_slot);
@@ -109,7 +109,7 @@ std::uint32_t HashedRoutes::out_slot(VertexId v, std::uint32_t in_slot,
   const std::uint64_t key =
       seed_ ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(v) + 1)) ^
       (0xc2b2ae3d27d4eb4fULL * (static_cast<std::uint64_t>(instance) + 1));
-  return KeyedPermutation{graph_.degree(v), key}.apply(in_slot);
+  return KeyedPermutation{graph_.degree_unchecked(v), key}.apply(in_slot);
 }
 
 std::vector<VertexId> HashedRoutes::route(VertexId start,
@@ -130,9 +130,9 @@ std::vector<VertexId> HashedRoutes::route(VertexId start,
   VertexId at = start;
   std::uint32_t slot = first_slot;
   for (std::uint32_t s = 0; s < length; ++s) {
-    const VertexId next = graph_.neighbors(at)[slot];
+    const VertexId next = graph_.neighbors_unchecked(at)[slot];
     // Incident slot of the edge (at -> next) on the `next` side.
-    const auto nbrs = graph_.neighbors(next);
+    const auto nbrs = graph_.neighbors_unchecked(next);
     const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), at);
     const auto in_slot = static_cast<std::uint32_t>(it - nbrs.begin());
     trail.push_back(next);

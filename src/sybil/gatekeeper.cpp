@@ -70,7 +70,7 @@ TicketRun distribute_tickets(const Graph& g, VertexId source,
       --budget;
       if (budget == 0) continue;
       forward.clear();
-      for (const VertexId w : g.neighbors(v))
+      for (const VertexId w : g.neighbors_unchecked(v))
         if (levels.distances[w] == depth + 1) forward.push_back(w);
       if (forward.empty()) continue;  // dead end: tickets are lost
       const std::uint64_t share = budget / forward.size();

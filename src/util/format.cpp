@@ -29,4 +29,11 @@ std::string compact(double value, int significant) {
   return buf;
 }
 
+std::string to_hex(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
 }  // namespace sntrust

@@ -16,4 +16,7 @@ std::string fixed(double value, int digits);
 /// zeros of a %.*g representation.
 std::string compact(double value, int significant = 6);
 
+/// 0xdeadbeef-style hex rendering (fingerprints, CRCs).
+std::string to_hex(std::uint64_t value);
+
 }  // namespace sntrust

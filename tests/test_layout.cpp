@@ -1,0 +1,267 @@
+#include "graph/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/frontier_bfs.hpp"
+#include "markov/layout_matvec.hpp"
+#include "markov/mixing.hpp"
+#include "markov/modulated.hpp"
+#include "markov/transition.hpp"
+#include "parallel/thread_pool.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using parallel::ScopedThreadCount;
+using testing::petersen_graph;
+using testing::star_graph;
+
+Graph layout_test_graph(std::uint64_t seed = 7) {
+  return largest_component(barabasi_albert(500, 3, seed)).graph;
+}
+
+// --- Layout selection plumbing ---------------------------------------------
+
+TEST(GraphLayoutEnum, ParseAndToStringRoundTrip) {
+  for (const GraphLayout layout :
+       {GraphLayout::kPlain, GraphLayout::kHilo, GraphLayout::kCompressed}) {
+    const auto parsed = parse_graph_layout(to_string(layout));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, layout);
+  }
+  EXPECT_EQ(parse_graph_layout("HiLo"), GraphLayout::kHilo);  // case-fold
+  EXPECT_FALSE(parse_graph_layout("dense").has_value());
+  EXPECT_FALSE(parse_graph_layout("").has_value());
+}
+
+TEST(GraphLayoutEnum, ScopedOverrideRestores) {
+  const GraphLayout before = graph_layout();
+  {
+    ScopedGraphLayout scoped{GraphLayout::kCompressed};
+    EXPECT_EQ(graph_layout(), GraphLayout::kCompressed);
+    {
+      ScopedGraphLayout nested{GraphLayout::kHilo};
+      EXPECT_EQ(graph_layout(), GraphLayout::kHilo);
+    }
+    EXPECT_EQ(graph_layout(), GraphLayout::kCompressed);
+  }
+  EXPECT_EQ(graph_layout(), before);
+}
+
+// --- Varint / zigzag codec --------------------------------------------------
+
+TEST(VarintCodec, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,     1,             127,   128,  16383,
+                                  16384, 0xffffffffULL, 0xffffffffffffffffULL};
+  std::vector<std::uint8_t> buf;
+  for (const std::uint64_t v : values) append_uvarint(buf, v);
+  const std::uint8_t* p = buf.data();
+  for (const std::uint64_t v : values) {
+    std::uint64_t decoded = 0;
+    p = decode_uvarint(p, decoded);
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_EQ(p, buf.data() + buf.size());
+}
+
+TEST(VarintCodec, SingleByteForSmallValues) {
+  std::vector<std::uint8_t> buf;
+  append_uvarint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  append_uvarint(buf, 128);
+  EXPECT_EQ(buf.size(), 3u);  // 128 needs two bytes
+}
+
+TEST(VarintCodec, ZigzagRoundTrips) {
+  for (const std::int64_t v : {std::int64_t{0}, std::int64_t{-1},
+                               std::int64_t{1}, std::int64_t{-64},
+                               std::int64_t{1} << 40,
+                               -(std::int64_t{1} << 40)}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  // Small magnitudes stay small: one varint byte either sign.
+  EXPECT_LT(zigzag_encode(-63), 128u);
+  EXPECT_LT(zigzag_encode(63), 128u);
+}
+
+// --- Degree-descending relabeling -------------------------------------------
+
+TEST(DegreeOrder, IsAnInversePermutationPair) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = layout_test_graph(seed);
+    const RelabelMap map = degree_order(g);
+    ASSERT_EQ(map.to_internal.size(), g.num_vertices());
+    ASSERT_EQ(map.to_external.size(), g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(map.to_internal[map.to_external[v]], v);
+      EXPECT_EQ(map.to_external[map.to_internal[v]], v);
+    }
+  }
+}
+
+TEST(DegreeOrder, SortsByDegreeDescThenExternalAsc) {
+  const Graph g = layout_test_graph();
+  const RelabelMap map = degree_order(g);
+  for (VertexId iv = 0; iv + 1 < g.num_vertices(); ++iv) {
+    const VertexId a = map.to_external[iv];
+    const VertexId b = map.to_external[iv + 1];
+    const VertexId da = g.degree_unchecked(a);
+    const VertexId db = g.degree_unchecked(b);
+    EXPECT_TRUE(da > db || (da == db && a < b));
+  }
+}
+
+// --- LayoutData row storage --------------------------------------------------
+
+void expect_rows_match_plain(const Graph& g, GraphLayout which) {
+  const auto data = g.layout(which);
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->layout(), which);
+  EXPECT_EQ(data->num_vertices(), g.num_vertices());
+  EXPECT_EQ(data->num_targets(), g.targets().size());
+  const RelabelMap& map = data->map();
+  for (VertexId iv = 0; iv < data->num_vertices(); ++iv) {
+    const VertexId v = map.to_external[iv];
+    EXPECT_EQ(data->int_degree(iv), g.degree_unchecked(v));
+    EXPECT_EQ(data->degree_double()[iv],
+              static_cast<double>(g.degree_unchecked(v)));
+    // Row contents: the plain row's targets in stored order, renumbered.
+    std::vector<VertexId> expected;
+    for (const VertexId w : g.neighbors_unchecked(v))
+      expected.push_back(map.to_internal[w]);
+    std::vector<VertexId> got;
+    data->for_each_target(iv, [&](VertexId w) { got.push_back(w); });
+    EXPECT_EQ(got, expected) << "internal row " << iv;
+  }
+}
+
+TEST(LayoutData, HiloRowsMatchPlainRows) {
+  expect_rows_match_plain(layout_test_graph(), GraphLayout::kHilo);
+}
+
+TEST(LayoutData, CompressedRowsMatchPlainRows) {
+  expect_rows_match_plain(layout_test_graph(), GraphLayout::kCompressed);
+}
+
+TEST(LayoutData, StarGraphSplitsHubFromLeaves) {
+  const Graph g = star_graph(64);
+  const auto data = g.layout(GraphLayout::kHilo);
+  // Internal id 0 is the hub (degree 63 >= cutoff); it stays raw.
+  ASSERT_GE(data->hi_count(), 1u);
+  EXPECT_EQ(data->map().to_external[0], 0u);
+  EXPECT_EQ(data->hi_row(0).size(), 63u);
+  // Every leaf row decodes to exactly the hub.
+  for (VertexId iv = 1; iv < data->num_vertices(); ++iv) {
+    std::vector<VertexId> row;
+    data->for_each_target(iv, [&](VertexId w) { row.push_back(w); });
+    EXPECT_EQ(row, std::vector<VertexId>{0});
+  }
+}
+
+TEST(LayoutData, AnyTargetStopsAtFirstHit) {
+  const Graph g = petersen_graph();
+  const auto data = g.layout(GraphLayout::kCompressed);
+  for (VertexId iv = 0; iv < data->num_vertices(); ++iv) {
+    std::vector<VertexId> row;
+    data->for_each_target(iv, [&](VertexId w) { row.push_back(w); });
+    ASSERT_FALSE(row.empty());
+    int probes = 0;
+    EXPECT_TRUE(data->any_target(iv, [&](VertexId w) {
+      ++probes;
+      return w == row.front();
+    }));
+    EXPECT_EQ(probes, 1);
+    EXPECT_FALSE(
+        data->any_target(iv, [&](VertexId) { return false; }));
+  }
+}
+
+TEST(LayoutData, CachedAcrossGraphCopies) {
+  const Graph g = layout_test_graph();
+  const Graph copy = g;  // shallow: shares storage and the layout cache
+  EXPECT_EQ(g.layout(GraphLayout::kHilo).get(),
+            copy.layout(GraphLayout::kHilo).get());
+}
+
+// --- Bitwise identity of the ported kernels ----------------------------------
+
+TEST(LayoutMatvecBitwise, MatchesPlainKernelsForEveryStepKind) {
+  const Graph g = layout_test_graph();
+  Distribution p = stationary_distribution(g);
+  p[0] += 0.25;  // perturb off-stationary so steps actually move mass
+  p[1] -= 0.25;
+  Distribution want, got;
+  for (const GraphLayout which :
+       {GraphLayout::kHilo, GraphLayout::kCompressed}) {
+    LayoutMatvec matvec{g, g.layout(which)};
+    step_distribution(g, p, want);
+    matvec.step(StepKind::kPlain, 0.0, p, got);
+    EXPECT_EQ(want, got);  // element-wise bitwise double equality
+    step_distribution_lazy(g, p, want);
+    matvec.step(StepKind::kLazy, 0.0, p, got);
+    EXPECT_EQ(want, got);
+    step_modulated(g, p, want, 0.15);
+    matvec.step(StepKind::kModulated, 0.15, p, got);
+    EXPECT_EQ(want, got);
+  }
+}
+
+// The ISSUE acceptance matrix: fig1's measurement (mixing curves) is bitwise
+// identical across all three layouts at 1 and 4 threads. Dense gathers are
+// forced from step zero so the layout engine is actually on the hot path.
+TEST(LayoutMixingBitwise, CurvesIdenticalAcrossLayoutsAndThreadCounts) {
+  const Graph g = layout_test_graph();
+  MixingOptions options;
+  options.num_sources = 8;
+  options.max_walk_length = 24;
+  options.seed = 42;
+  options.kernel_dense_fraction = 0.0;
+
+  options.layout = GraphLayout::kPlain;
+  ScopedThreadCount serial{1};
+  const MixingCurves reference = measure_mixing(g, options);
+
+  for (const GraphLayout which :
+       {GraphLayout::kPlain, GraphLayout::kHilo, GraphLayout::kCompressed}) {
+    options.layout = which;
+    for (const int threads : {1, 4}) {
+      ScopedThreadCount scoped{threads};
+      const MixingCurves curves = measure_mixing(g, options);
+      EXPECT_EQ(curves.sources, reference.sources);
+      EXPECT_EQ(curves.tvd, reference.tvd)
+          << to_string(which) << " @ " << threads << " threads";
+    }
+  }
+}
+
+TEST(LayoutBfsBitwise, DistancesIdenticalAcrossLayouts) {
+  const Graph g = layout_test_graph();
+  FrontierBfs plain{g, FrontierBfs::Options{14, 24, GraphLayout::kPlain}};
+  FrontierBfs hilo{g, FrontierBfs::Options{14, 24, GraphLayout::kHilo}};
+  FrontierBfs packed{g,
+                     FrontierBfs::Options{14, 24, GraphLayout::kCompressed}};
+  for (const VertexId source : {VertexId{0}, VertexId{17}, VertexId{400}}) {
+    const BfsResult& a = plain.run(source);
+    const std::vector<std::uint32_t> distances = a.distances;
+    const std::vector<std::uint64_t> levels = a.level_sizes;
+    const std::uint64_t reached = a.reached;
+    const BfsResult& b = hilo.run(source);
+    EXPECT_EQ(b.distances, distances);
+    EXPECT_EQ(b.level_sizes, levels);
+    EXPECT_EQ(b.reached, reached);
+    const BfsResult& c = packed.run(source);
+    EXPECT_EQ(c.distances, distances);
+    EXPECT_EQ(c.level_sizes, levels);
+    EXPECT_EQ(c.reached, reached);
+  }
+}
+
+}  // namespace
+}  // namespace sntrust

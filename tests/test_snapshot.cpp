@@ -1,0 +1,234 @@
+#include "graph/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/io.hpp"
+#include "test_graphs.hpp"
+
+namespace sntrust {
+namespace {
+
+using testing::petersen_graph;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Graph snapshot_test_graph() {
+  return largest_component(barabasi_albert(300, 2, 11)).graph;
+}
+
+/// Flips one byte of the file at `offset` and rewrites it in place.
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream f{path, std::ios::binary | std::ios::in | std::ios::out};
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte ^= 0x5a;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
+
+/// Reference CRC-32 (IEEE, reflected) for the hand-crafted header tests —
+/// bitwise the same polynomial the snapshot writer uses.
+std::uint32_t ref_crc32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ (0xedb88320u & (0u - (crc & 1u)));
+  }
+  return crc ^ 0xffffffffu;
+}
+
+template <typename T>
+void put_at(std::vector<std::uint8_t>& buf, std::size_t offset, T value) {
+  std::memcpy(buf.data() + offset, &value, sizeof value);
+}
+
+/// Builds a byte-valid v1 snapshot of the empty graph, then lets the test
+/// tamper with individual header fields while keeping the CRCs consistent —
+/// exercising the semantic checks rather than the checksum.
+std::vector<std::uint8_t> empty_snapshot_bytes() {
+  std::vector<std::uint8_t> bytes(64 + 8, 0);  // header + one offsets entry
+  put_at(bytes, 0, kSnapshotMagic);
+  put_at(bytes, 8, kSnapshotVersion);
+  put_at(bytes, 12, std::uint32_t{0x01020304});
+  // n = 0, halfedges = 0, fingerprint left 0 (not validated on load).
+  return bytes;
+}
+
+void seal_and_write(std::vector<std::uint8_t> bytes, const std::string& path) {
+  put_at(bytes, 40, ref_crc32(bytes.data() + 64, bytes.size() - 64));
+  put_at(bytes, 44, ref_crc32(bytes.data(), 44));
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamoff>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// --- Round trips -------------------------------------------------------------
+
+TEST(Snapshot, RoundTripsGraphBitwise) {
+  const Graph g = snapshot_test_graph();
+  const std::string path = temp_path("sntrust_snap_rt.snap");
+  write_snapshot(g, path);
+  const Graph loaded = load_snapshot(path);
+  EXPECT_EQ(loaded, g);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, RoundTripsEmptyGraph) {
+  const Graph g{};
+  const std::string path = temp_path("sntrust_snap_empty.snap");
+  write_snapshot(g, path);
+  const Graph loaded = load_snapshot(path);
+  EXPECT_EQ(loaded.num_vertices(), 0u);
+  EXPECT_EQ(loaded, g);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, FingerprintMatchesParsePath) {
+  const Graph g = snapshot_test_graph();
+  const std::string path = temp_path("sntrust_snap_fp.snap");
+  write_snapshot(g, path);
+  const Graph loaded = load_snapshot(path);
+  // The header seeds the fingerprint cache: no rescan, same value — so
+  // exec checkpoints keyed on the fingerprint resume across load paths.
+  ASSERT_TRUE(loaded.cached_fingerprint().has_value());
+  EXPECT_EQ(*loaded.cached_fingerprint(), g.fingerprint());
+  EXPECT_EQ(loaded.fingerprint(), g.fingerprint());
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, InfoReportsHeaderFields) {
+  const Graph g = petersen_graph();
+  const std::string path = temp_path("sntrust_snap_info.snap");
+  write_snapshot(g, path);
+  const SnapshotInfo info = snapshot_info(path);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  EXPECT_EQ(info.num_vertices, 10u);
+  EXPECT_EQ(info.half_edges, 30u);
+  EXPECT_EQ(info.fingerprint, g.fingerprint());
+  EXPECT_EQ(info.file_bytes, std::filesystem::file_size(path));
+  EXPECT_TRUE(is_snapshot_file(path));
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, ReadGraphAutoSniffsSnapshots) {
+  const Graph g = petersen_graph();
+  const std::string path = temp_path("sntrust_snap_auto.snap");
+  write_snapshot(g, path);
+  EXPECT_EQ(read_graph_auto(path), g);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, IsSnapshotFileRejectsOtherFiles) {
+  const std::string path = temp_path("sntrust_snap_not.txt");
+  std::ofstream{path} << "0 1\n";
+  EXPECT_FALSE(is_snapshot_file(path));
+  EXPECT_FALSE(is_snapshot_file(temp_path("sntrust_snap_missing.snap")));
+  std::filesystem::remove(path);
+}
+
+// --- Rejection paths ---------------------------------------------------------
+
+TEST(Snapshot, RejectsTruncatedFile) {
+  const Graph g = snapshot_test_graph();
+  const std::string path = temp_path("sntrust_snap_trunc.snap");
+  write_snapshot(g, path);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 16);
+  EXPECT_THROW(load_snapshot(path), IoError);
+  std::filesystem::resize_file(path, 32);  // mid-header
+  EXPECT_THROW(load_snapshot(path), IoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, RejectsTrailingGarbage) {
+  const Graph g = petersen_graph();
+  const std::string path = temp_path("sntrust_snap_tail.snap");
+  write_snapshot(g, path);
+  std::ofstream{path, std::ios::binary | std::ios::app} << "xx";
+  EXPECT_THROW(load_snapshot(path), IoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, RejectsCorruptedHeader) {
+  const Graph g = snapshot_test_graph();
+  const std::string path = temp_path("sntrust_snap_hdr.snap");
+  write_snapshot(g, path);
+  flip_byte(path, 16);  // inside n: header CRC catches it
+  EXPECT_THROW(load_snapshot(path), IoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, PayloadCorruptionCaughtOnDemand) {
+  const Graph g = snapshot_test_graph();
+  const std::string path = temp_path("sntrust_snap_pay.snap");
+  write_snapshot(g, path);
+  const auto size = std::filesystem::file_size(path);
+  flip_byte(path, size - 2);  // inside targets
+  // Default trust level checks only the header — the flip passes through...
+  EXPECT_NO_THROW(load_snapshot(path, VerifyPayload::kSkip));
+  // ...and the full payload CRC rejects it.
+  EXPECT_THROW(load_snapshot(path, VerifyPayload::kFull), IoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, RejectsForeignEndianness) {
+  const std::string path = temp_path("sntrust_snap_endian.snap");
+  auto bytes = empty_snapshot_bytes();
+  put_at(bytes, 12, std::uint32_t{0x04030201});  // big-endian producer
+  seal_and_write(std::move(bytes), path);        // CRCs valid: semantic check
+  EXPECT_THROW(load_snapshot(path), IoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, RejectsUnknownVersion) {
+  const std::string path = temp_path("sntrust_snap_ver.snap");
+  auto bytes = empty_snapshot_bytes();
+  put_at(bytes, 8, std::uint32_t{2});
+  seal_and_write(std::move(bytes), path);
+  EXPECT_THROW(load_snapshot(path), IoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, RejectsWrongMagic) {
+  const std::string path = temp_path("sntrust_snap_magic.snap");
+  auto bytes = empty_snapshot_bytes();
+  put_at(bytes, 0, std::uint64_t{0x0011223344556677ULL});
+  seal_and_write(std::move(bytes), path);
+  EXPECT_THROW(load_snapshot(path), IoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, HandCraftedEmptySnapshotLoads) {
+  // Sanity for the hand-crafted header harness itself: an untampered
+  // construction must load, otherwise the rejection tests above prove
+  // nothing.
+  const std::string path = temp_path("sntrust_snap_hand.snap");
+  seal_and_write(empty_snapshot_bytes(), path);
+  const Graph loaded = load_snapshot(path, VerifyPayload::kFull);
+  EXPECT_EQ(loaded.num_vertices(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Snapshot, MissingFileThrowsIoError) {
+  EXPECT_THROW(load_snapshot(temp_path("sntrust_snap_nope.snap")), IoError);
+  EXPECT_THROW(snapshot_info(temp_path("sntrust_snap_nope.snap")), IoError);
+}
+
+}  // namespace
+}  // namespace sntrust

@@ -3,10 +3,11 @@
 //
 //   sntrust_cli generate <dataset_id> <scale> <out.txt>
 //       Writes a synthetic analogue as a SNAP-format edge list.
-//   sntrust_cli measure <edgelist.txt> [sources]
-//       Loads an edge list (largest component) and prints the full
-//       property report (mixing, cores, expansion) plus per-phase
-//       wall-clock timings.
+//   sntrust_cli measure <graph> [sources]
+//       Loads a graph — text edge list, binary CSR, or mmap snapshot
+//       (format sniffed by magic) — reduces to the largest component, and
+//       prints the full property report (mixing, cores, expansion) plus
+//       per-phase wall-clock timings.
 //   sntrust_cli attack <edgelist.txt> <sybils> <attack_edges>
 //       Attaches a Sybil region and reports GateKeeper / SybilLimit /
 //       SumUp outcomes.
@@ -26,6 +27,12 @@
 //                        bitwise-identical results; auto starts with the
 //                        frontier-sparse pull and switches to dense gathers
 //                        once the frontier covers most of the graph.
+//   --layout <layout>    Adjacency layout for the hot loops: plain | hilo |
+//                        compressed (same as SNTRUST_LAYOUT). The
+//                        degree-ordered layouts relabel vertices hub-first
+//                        and (hilo: tail-only, compressed: everywhere)
+//                        varint-pack the adjacency; results are bitwise
+//                        identical to plain.
 //   --report <out.json>  Write the unified JSON run report (config, metrics
 //                        snapshot, per-span wall/cpu/alloc table, totals) at
 //                        exit. SNTRUST_REPORT=<path> does the same for any
@@ -96,6 +103,8 @@ int usage() {
                "sweeps (1 = serial)\n"
                "  --kernel <mode>      distribution kernel: auto | dense | "
                "sparse (bitwise identical)\n"
+               "  --layout <layout>    adjacency layout: plain | hilo | "
+               "compressed (bitwise identical)\n"
                "  --report <out.json>  write the unified JSON run report "
                "at exit\n"
                "  --deadline <ms>      cooperative wall-clock budget; "
@@ -138,7 +147,7 @@ int cmd_measure(const std::string& path, std::uint32_t sources) {
 
   const Graph raw = [&] {
     const obs::Span span{"load", "cli"};
-    return read_edge_list_file(path);
+    return read_graph_auto(path);
   }();
   const Graph g = largest_component(raw).graph;
   std::cout << "loaded " << path << ": n=" << with_thousands(g.num_vertices())
@@ -192,7 +201,7 @@ int cmd_measure(const std::string& path, std::uint32_t sources) {
 
 int cmd_attack(const std::string& path, VertexId sybils,
                std::uint32_t attack_edges) {
-  const Graph g = largest_component(read_edge_list_file(path)).graph;
+  const Graph g = largest_component(read_graph_auto(path)).graph;
   obs::RunReporter& reporter = obs::RunReporter::instance();
   reporter.set_config("command", "attack");
   reporter.set_config("edgelist", path);
@@ -274,6 +283,14 @@ int main(int argc, char** argv) {
         if (!mode) return usage();
         set_kernel_mode(*mode);
         obs::RunReporter::instance().set_config("kernel", to_string(*mode));
+        continue;
+      }
+      if (arg == "--layout") {
+        if (i + 1 >= argc) return usage();
+        const auto layout = parse_graph_layout(argv[++i]);
+        if (!layout) return usage();
+        set_graph_layout(*layout);
+        obs::RunReporter::instance().set_config("layout", to_string(*layout));
         continue;
       }
       if (arg == "--report") {
