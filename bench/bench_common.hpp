@@ -19,6 +19,7 @@
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
+#include "util/format.hpp"
 
 namespace sntrust::bench {
 
@@ -44,16 +45,32 @@ inline bool full_scale() { return env_bool("SNTRUST_FULL_SCALE", false); }
 /// regenerating it. The snapshot header fingerprint keeps exec checkpoints
 /// valid across the two load paths.
 inline Graph dataset_graph(const DatasetSpec& spec, double base = 0.35) {
+  // Provenance: the per-dataset structural fingerprint lands in the run
+  // report's config so benchdiff/diag can refuse diffs between runs that
+  // measured different graphs (changed generator, scale, or seed).
+  const auto record_fingerprint = [&spec](const Graph& g) {
+    obs::RunReporter::instance().set_config("graph." + std::string{spec.id},
+                                            to_hex(g.fingerprint()));
+  };
   const double scale =
       full_scale() ? 1.0 / spec.default_scale : dataset_scale(base);
   const std::string dir = env_string("SNTRUST_SNAPSHOT", "");
-  if (dir.empty()) return spec.generate(scale, kBenchSeed);
+  if (dir.empty()) {
+    Graph g = spec.generate(scale, kBenchSeed);
+    record_fingerprint(g);
+    return g;
+  }
   char suffix[48];
   std::snprintf(suffix, sizeof suffix, "_s%g.snap", scale);
   const std::string path = dir + "/" + spec.id + suffix;
-  if (is_snapshot_file(path)) return load_snapshot(path);
+  if (is_snapshot_file(path)) {
+    Graph g = load_snapshot(path);
+    record_fingerprint(g);
+    return g;
+  }
   Graph g = spec.generate(scale, kBenchSeed);
   write_snapshot(g, path);
+  record_fingerprint(g);
   return g;
 }
 

@@ -4,6 +4,7 @@
 
 #include "exec/checkpoint.hpp"
 #include "exec/sweep.hpp"
+#include "obs/diag.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/json.hpp"
 
@@ -114,6 +115,16 @@ std::vector<CoreLevel> core_profile(const Graph& g,
                     ? 0.0
                     : static_cast<double>(level.edges) / edge_total;
     levels.push_back(level);
+  }
+  // Diagnostics (SNTRUST_DIAG): the nu(k) trajectory — the fraction of the
+  // graph surviving into each k-core — is the decay curve behind the
+  // coreness figures. Exact computation, so never flagged; the fitted decay
+  // rate is what diag renders and diffs.
+  if (obs::diag_enabled() && !levels.empty()) {
+    obs::ConvergenceTrace nu_trace;
+    for (const CoreLevel& level : levels) nu_trace.add(level.nu);
+    obs::DiagRegistry::instance().record_trace(
+        obs::summarize_trace("cores.nu", 0, nu_trace, /*converged=*/true));
   }
   return levels;
 }

@@ -9,6 +9,7 @@
 #include "exec/sweep.hpp"
 #include "graph/components.hpp"
 #include "graph/frontier_bfs.hpp"
+#include "obs/diag.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -101,6 +102,14 @@ ExpansionProfile measure_expansion(const Graph& g,
   ExpansionProfile out;
   std::map<std::uint64_t, Accumulator> by_size;
   std::uint32_t sources_used = 0;
+  // Diagnostics (SNTRUST_DIAG): per-source min-alpha samples give a CI over
+  // the sampled-source estimate, and the running mean traced per source
+  // shows how fast the estimate settles as the sample grows. Both fold in
+  // the same serial index order as the aggregate itself.
+  const bool diag = obs::diag_enabled();
+  obs::ConvergenceTrace alpha_trace;
+  double alpha_sum = 0.0, alpha_sumsq = 0.0;
+  std::uint64_t alpha_count = 0;
   for (const std::string& payload : swept.payloads) {
     if (payload.empty()) continue;  // failed source: dropped from aggregate
     ++sources_used;
@@ -113,6 +122,7 @@ ExpansionProfile measure_expansion(const Graph& g,
     out.max_depth = std::max(out.max_depth,
                              static_cast<std::uint32_t>(levels.size() - 1));
     std::uint64_t envelope = 0;
+    double source_min_alpha = -1.0;
     for (std::size_t j = 0; j + 1 < levels.size(); ++j) {
       envelope += levels[j];
       const std::uint64_t neighbors = levels[j + 1];
@@ -125,7 +135,26 @@ ExpansionProfile measure_expansion(const Graph& g,
       }
       acc.sum += neighbors;
       ++acc.count;
+      if (diag && envelope > 0 && envelope <= n / 2) {
+        const double alpha = static_cast<double>(neighbors) /
+                             static_cast<double>(envelope);
+        if (source_min_alpha < 0.0 || alpha < source_min_alpha)
+          source_min_alpha = alpha;
+      }
     }
+    if (diag && source_min_alpha >= 0.0) {
+      alpha_sum += source_min_alpha;
+      alpha_sumsq += source_min_alpha * source_min_alpha;
+      ++alpha_count;
+      alpha_trace.add(alpha_sum / static_cast<double>(alpha_count));
+    }
+  }
+  if (diag && alpha_count > 0) {
+    obs::DiagRegistry::instance().record_trace(obs::summarize_trace(
+        "expansion.alpha", 0, alpha_trace, /*converged=*/true));
+    obs::DiagRegistry::instance().record_estimate(
+        "expansion.min_alpha",
+        obs::mean_ci95(alpha_sum, alpha_sumsq, alpha_count));
   }
 
   out.sources_used = sources_used;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/components.hpp"
+#include "obs/diag.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
@@ -130,6 +131,18 @@ LanczosResult lanczos_spectrum(const Graph& g, const LanczosOptions& options) {
   }
 
   obs::count("lanczos.iterations", result.iterations);
+
+  // Diagnostics (SNTRUST_DIAG): the off-diagonal beta trajectory is the
+  // Lanczos residual analogue — beta_j -> 0 means the Krylov space closed.
+  // Exiting on the subspace cap is the normal operating mode (the subspace
+  // is sized for the requested eigenvalue count), so a Lanczos run is never
+  // flagged as non-converged.
+  if (obs::diag_enabled() && !off.empty()) {
+    obs::ConvergenceTrace betas;
+    for (const double beta : off) betas.add(beta);
+    obs::DiagRegistry::instance().record_trace(
+        obs::summarize_trace("slem.lanczos", 0, betas, /*converged=*/true));
+  }
 
   std::vector<double> values = tridiagonal_eigenvalues(diag, off);
   std::reverse(values.begin(), values.end());  // descending

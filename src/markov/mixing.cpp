@@ -7,6 +7,7 @@
 #include "exec/sweep.hpp"
 #include "graph/components.hpp"
 #include "markov/walker.hpp"
+#include "obs/diag.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -52,6 +53,52 @@ void collect_curves(const exec::SweepResult& swept, MixingCurves& out) {
   }
   out.sources = std::move(sources);
   out.tvd = std::move(tvd);
+}
+
+// Estimator diagnostics over the collected curves (SNTRUST_DIAG). Runs on
+// the serial aggregation path after collect_curves, in source-index order,
+// so the recorded traces are bitwise identical at any thread count and the
+// measurement itself is untouched. A source "converged" when its TVD curve
+// either crossed the diag epsilon or plateaued strictly before the walk
+// cap; a curve still visibly decaying when the cap hit is flagged.
+void record_mixing_diag(const std::string& kind, const MixingCurves& curves) {
+  if (!obs::diag_enabled()) return;
+  const double epsilon = obs::diag_epsilon();
+  double final_sum = 0.0, final_sumsq = 0.0;
+  double cross_sum = 0.0, cross_sumsq = 0.0;
+  std::uint64_t crossed = 0;
+  for (std::size_t i = 0; i < curves.tvd.size(); ++i) {
+    const std::vector<double>& curve = curves.tvd[i];
+    obs::ConvergenceTrace trace;
+    for (const double v : curve) trace.add(v);
+    bool crossed_eps = false;
+    for (std::size_t t = 0; t < curve.size(); ++t) {
+      if (curve[t] <= epsilon) {
+        crossed_eps = true;
+        cross_sum += static_cast<double>(t);
+        cross_sumsq += static_cast<double>(t) * static_cast<double>(t);
+        ++crossed;
+        break;
+      }
+    }
+    const bool plateaued =
+        !trace.empty() && trace.plateau_iteration() + 1 < trace.iterations();
+    const bool converged = crossed_eps || plateaued;
+    obs::DiagRegistry::instance().record_trace(
+        obs::summarize_trace(kind, curves.sources[i], trace, converged));
+    if (!converged)
+      obs::DiagRegistry::instance().record_nonconverged(
+          kind, curves.sources[i], trace.iterations(), trace.final_value());
+    final_sum += trace.final_value();
+    final_sumsq += trace.final_value() * trace.final_value();
+  }
+  if (!curves.tvd.empty())
+    obs::DiagRegistry::instance().record_estimate(
+        kind + ".tvd_final",
+        obs::mean_ci95(final_sum, final_sumsq, curves.tvd.size()));
+  if (crossed > 0)
+    obs::DiagRegistry::instance().record_estimate(
+        kind + ".time_to_eps", obs::mean_ci95(cross_sum, cross_sumsq, crossed));
 }
 
 }  // namespace
@@ -132,6 +179,7 @@ MixingCurves measure_mixing(const Graph& g, const MixingOptions& options) {
         return encode_curve(curve);
       });
   collect_curves(swept, out);
+  record_mixing_diag("mixing.tvd", out);
   obs::count("mixing.sources", out.sources.size());
   obs::count("mixing.distribution_steps",
              swept.computed * options.max_walk_length);
@@ -199,6 +247,7 @@ MixingCurves measure_mixing_monte_carlo(const Graph& g,
         return encode_curve(curve);
       });
   collect_curves(swept, out);
+  record_mixing_diag("mixing.monte_carlo", out);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/components.hpp"
+#include "obs/diag.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
@@ -94,6 +95,32 @@ SlemResult second_largest_eigenvalue(const Graph& g,
       c.add(iterations);
     }
   } count_iterations{result.iterations};
+  // Diagnostics (SNTRUST_DIAG): residual trajectory |estimate - previous|
+  // plus the estimate itself. Observes values the loop already computes —
+  // the measurement is bitwise identical whether armed or not.
+  const bool diag = obs::diag_enabled();
+  obs::ConvergenceTrace residual_trace;
+  struct RecordDiag {
+    bool armed;
+    const SlemResult& result;
+    const obs::ConvergenceTrace& residuals;
+    ~RecordDiag() {
+      if (!armed) return;
+      obs::DiagRegistry::instance().record_trace(obs::summarize_trace(
+          "slem.power_iteration", 0, residuals, result.converged));
+      obs::ConfidenceInterval mu;
+      mu.mean = mu.lo = mu.hi = result.mu;
+      mu.n = 1;
+      mu.ess = 1.0;
+      obs::DiagRegistry::instance().record_estimate("slem.mu", mu);
+      obs::ConfidenceInterval gap = mu;
+      gap.mean = gap.lo = gap.hi = 1.0 - result.mu;
+      obs::DiagRegistry::instance().record_estimate("slem.spectral_gap", gap);
+      if (!result.converged)
+        obs::DiagRegistry::instance().record_nonconverged(
+            "slem.power_iteration", 0, result.iterations, result.mu);
+    }
+  } record_diag{diag, result, residual_trace};
   std::vector<double> y;
   double previous = 0.0;
   for (std::uint32_t it = 1; it <= options.max_iterations; ++it) {
@@ -109,6 +136,7 @@ SlemResult second_largest_eigenvalue(const Graph& g,
     // Rayleigh-style estimate of |lambda|: ||N x|| for unit x bounds the
     // dominant remaining modulus; the iterate converges to it.
     const double estimate = y_norm;
+    if (diag) residual_trace.add(std::fabs(estimate - previous));
     for (VertexId v = 0; v < n; ++v) x[v] = y[v] / y_norm;
     if (std::fabs(estimate - previous) < options.tolerance) {
       result.mu = estimate;

@@ -6,6 +6,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include <algorithm>
+
+#include "obs/diag.hpp"
 #include "obs/metrics.hpp"
 #include "obs/resource.hpp"
 #include "obs/telemetry.hpp"
@@ -15,6 +18,10 @@
 
 #ifdef __GLIBC__
 #include <errno.h>  // program_invocation_short_name
+#endif
+#ifdef __unix__
+#include <unistd.h>
+extern char** environ;
 #endif
 
 namespace sntrust::obs {
@@ -27,6 +34,37 @@ std::string default_tool_name() {
     return program_invocation_short_name;
 #endif
   return "unknown";
+}
+
+// Compiler identity baked in at compile time, for provenance diffs.
+std::string compiler_version() {
+#if defined(__clang__)
+  return std::string{"clang "} + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string{"gcc "} + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+// Sorted snapshot of every SNTRUST_* environment variable, so two reports
+// can be checked for apples-to-oranges knob differences before diffing.
+json::Object sntrust_env_snapshot() {
+  std::vector<std::pair<std::string, std::string>> entries;
+#ifdef __unix__
+  for (char** env = environ; env != nullptr && *env != nullptr; ++env) {
+    const std::string entry{*env};
+    if (entry.rfind("SNTRUST_", 0) != 0) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    entries.emplace_back(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+#endif
+  std::sort(entries.begin(), entries.end());
+  json::Object object;
+  for (auto& [key, value] : entries)
+    object.emplace_back(std::move(key), json::Value::string(std::move(value)));
+  return object;
 }
 
 }  // namespace
@@ -158,6 +196,23 @@ json::Value RunReporter::build() const {
   if (!has_key("alloc_stats"))
     config_object.emplace_back("alloc_stats",
                                json::Value::boolean(alloc_stats_enabled()));
+  // Build/run provenance: compiler + flags baked in at compile time, the
+  // diag arming state, and the SNTRUST_* environment snapshot. benchdiff
+  // refuses apples-to-oranges comparisons (mismatched graph fingerprints /
+  // scale) using these; old reports without them still diff fine.
+  if (!has_key("compiler"))
+    config_object.emplace_back("compiler",
+                               json::Value::string(compiler_version()));
+#ifdef SNTRUST_BUILD_FLAGS
+  if (!has_key("build_flags"))
+    config_object.emplace_back("build_flags",
+                               json::Value::string(SNTRUST_BUILD_FLAGS));
+#endif
+  if (!has_key("diag"))
+    config_object.emplace_back("diag", json::Value::boolean(diag_enabled()));
+  if (!has_key("env"))
+    config_object.emplace_back(
+        "env", json::Value::object(sntrust_env_snapshot()));
   for (auto& entry : config)
     config_object.emplace_back(entry.first, std::move(entry.second));
   root.emplace_back("config", json::Value::object(std::move(config_object)));
@@ -301,6 +356,11 @@ json::Value RunReporter::build() const {
                            json::Value::object(std::move(quantiles)));
     root.emplace_back("telemetry", json::Value::object(std::move(telemetry)));
   }
+
+  // Estimator diagnostics (SNTRUST_DIAG). Additive to schema 1 — present
+  // only when something was recorded.
+  const DiagRegistry& diag = DiagRegistry::instance();
+  if (!diag.empty()) root.emplace_back("diag", diag.build());
 
   return json::Value::object(std::move(root));
 }

@@ -304,6 +304,7 @@ TelemetryFrames read_telemetry_frames(const std::string& path) {
         throw std::runtime_error("telemetry: malformed frame at line " +
                                  std::to_string(i + 1) + " of " + path);
       out.truncated_tail = true;
+      ++out.truncated_frames;
     }
   }
   return out;

@@ -128,6 +128,11 @@ class TelemetryExporter {
 struct TelemetryFrames {
   std::vector<json::Value> frames;
   bool truncated_tail = false;
+  // How many lines were dropped as unparsable (0 or 1 today — only the tail
+  // may be damaged). Counted separately so consumers that diff telemetry
+  // streams (sntrust_benchdiff) can surface the loss instead of silently
+  // comparing fewer frames.
+  std::uint64_t truncated_frames = 0;
 };
 TelemetryFrames read_telemetry_frames(const std::string& path);
 

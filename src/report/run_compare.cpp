@@ -34,6 +34,23 @@ RunReportData parse_run_report(const json::Value& document) {
       tool != nullptr && tool->is_string())
     data.tool = tool->as_string();
 
+  if (const json::Value* config = document.find("config");
+      config != nullptr && config->is_object()) {
+    for (const json::Member& member : config->as_object()) {
+      if (member.second.is_string()) {
+        data.provenance.emplace(member.first, member.second.as_string());
+      } else if (member.first == "scale" && member.second.is_number()) {
+        data.has_scale = true;
+        data.scale = member.second.as_number();
+      } else if (member.first == "env" && member.second.is_object()) {
+        for (const json::Member& env : member.second.as_object())
+          if (env.second.is_string())
+            data.provenance.emplace("env." + env.first,
+                                    env.second.as_string());
+      }
+    }
+  }
+
   if (const json::Value* totals = document.find("totals");
       totals != nullptr && totals->is_object())
     for (const json::Member& member : totals->as_object())
@@ -98,6 +115,47 @@ RunReportData parse_run_report(const json::Value& document) {
       }
     }
   }
+
+  if (const json::Value* diag = document.find("diag");
+      diag != nullptr && diag->is_object()) {
+    data.has_diag = true;
+    if (const json::Value* converged = diag->find("converged");
+        converged != nullptr && converged->is_bool())
+      data.diag_converged = converged->as_bool();
+    data.diag_nonconverged =
+        static_cast<std::int64_t>(number_or(diag->find("nonconverged"), 0.0));
+    if (const json::Value* flagged = diag->find("flagged_sources");
+        flagged != nullptr && flagged->is_array()) {
+      for (const json::Value& row : flagged->as_array()) {
+        if (!row.is_object()) continue;
+        RunReportData::FlaggedSource source;
+        if (const json::Value* kind = row.find("kind");
+            kind != nullptr && kind->is_string())
+          source.kind = kind->as_string();
+        source.source =
+            static_cast<std::uint64_t>(number_or(row.find("source"), 0.0));
+        source.iterations = static_cast<std::uint64_t>(
+            number_or(row.find("iterations"), 0.0));
+        source.final_value = number_or(row.find("final_value"), 0.0);
+        data.flagged_sources.push_back(std::move(source));
+      }
+    }
+    if (const json::Value* estimates = diag->find("estimates");
+        estimates != nullptr && estimates->is_object()) {
+      for (const json::Member& member : estimates->as_object()) {
+        if (!member.second.is_object()) continue;
+        RunReportData::EstimateRow row;
+        row.mean = number_or(member.second.find("mean"), 0.0);
+        row.ci95_lo = number_or(member.second.find("ci95_lo"), 0.0);
+        row.ci95_hi = number_or(member.second.find("ci95_hi"), 0.0);
+        row.ci95_width = number_or(member.second.find("ci95_width"), 0.0);
+        row.n = static_cast<std::uint64_t>(
+            number_or(member.second.find("n"), 0.0));
+        row.ess = number_or(member.second.find("ess"), 0.0);
+        data.estimates.emplace(member.first, row);
+      }
+    }
+  }
   return data;
 }
 
@@ -112,6 +170,29 @@ RunReportData load_run_report(const std::string& path) {
   } catch (const std::exception& error) {
     throw std::runtime_error(path + ": " + error.what());
   }
+}
+
+std::string provenance_mismatch(const RunReportData& baseline,
+                                const RunReportData& candidate) {
+  // Graph fingerprints: when both runs measured a graph under the same
+  // config key, the fingerprints must agree — otherwise the diff compares
+  // measurements of two different graphs.
+  for (const auto& [key, base_value] : baseline.provenance) {
+    if (key.rfind("graph.", 0) != 0) continue;
+    const auto found = candidate.provenance.find(key);
+    if (found == candidate.provenance.end()) continue;
+    if (found->second != base_value)
+      return "graph fingerprint mismatch for \"" + key + "\": baseline " +
+             base_value + " vs candidate " + found->second +
+             " — the runs measured different graphs";
+  }
+  if (baseline.has_scale && candidate.has_scale &&
+      baseline.scale != candidate.scale)
+    return "workload scale mismatch: baseline " +
+           std::to_string(baseline.scale) + " vs candidate " +
+           std::to_string(candidate.scale) +
+           " — timings at different scales are not comparable";
+  return {};
 }
 
 const char* to_string(DiffRow::Status status) {
@@ -269,6 +350,58 @@ DiffResult diff_run_reports(const RunReportData& baseline,
     row.status = DiffRow::Status::Removed;
     result.quantiles.push_back(std::move(row));
   }
+
+  // Estimate-quality gates: only when both runs carry a diag section (a
+  // diag-off run has nothing to compare, and a diag-on candidate against a
+  // pre-diag baseline is a code change, not a quality regression).
+  if (baseline.has_diag && candidate.has_diag) {
+    {
+      // Nonconverged count is an absolute gate, not a percentage: each new
+      // cap-exit source is an estimate the run can no longer vouch for.
+      DiffRow row;
+      row.name = "diag";
+      row.metric = "nonconverged";
+      row.baseline = static_cast<double>(baseline.diag_nonconverged);
+      row.candidate = static_cast<double>(candidate.diag_nonconverged);
+      row.delta_pct = delta_pct(row.baseline, row.candidate);
+      if (candidate.diag_nonconverged >
+          baseline.diag_nonconverged + options.max_new_nonconverged) {
+        row.status = DiffRow::Status::Regressed;
+        result.breached = true;
+      } else if (candidate.diag_nonconverged < baseline.diag_nonconverged) {
+        row.status = DiffRow::Status::Improved;
+      }
+      result.quality.push_back(std::move(row));
+    }
+    for (const auto& [name, cand] : candidate.estimates) {
+      const auto found = baseline.estimates.find(name);
+      if (found == baseline.estimates.end()) {
+        DiffRow row;
+        row.name = name;
+        row.metric = "ci95_width";
+        row.candidate = cand.ci95_width;
+        row.status = DiffRow::Status::Added;
+        result.quality.push_back(std::move(row));
+        continue;
+      }
+      const RunReportData::EstimateRow& base = found->second;
+      if (std::max(base.ci95_width, cand.ci95_width) < options.min_ci_width)
+        continue;  // both intervals are effectively exact
+      DiffRow row = classify(name, "ci95_width", base.ci95_width,
+                             cand.ci95_width, options.ci_widen_threshold_pct);
+      if (row.status == DiffRow::Status::Regressed) result.breached = true;
+      result.quality.push_back(std::move(row));
+    }
+    for (const auto& [name, base] : baseline.estimates) {
+      if (candidate.estimates.count(name) != 0) continue;
+      DiffRow row;
+      row.name = name;
+      row.metric = "ci95_width";
+      row.baseline = base.ci95_width;
+      row.status = DiffRow::Status::Removed;
+      result.quality.push_back(std::move(row));
+    }
+  }
   return result;
 }
 
@@ -295,9 +428,11 @@ Table diff_table(const DiffResult& result) {
   add_rows(result.spans, "span", true);
   add_rows(result.totals, "total", true);
   add_rows(result.quantiles, "quantile", true);
+  add_rows(result.quality, "quality", true);
   add_rows(result.spans, "span", false);
   add_rows(result.totals, "total", false);
   add_rows(result.quantiles, "quantile", false);
+  add_rows(result.quality, "quality", false);
   return table;
 }
 

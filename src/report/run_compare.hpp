@@ -20,6 +20,15 @@ namespace sntrust {
 struct RunReportData {
   std::int64_t schema_version = 0;
   std::string tool;
+
+  /// Provenance from the "config" section: every string-valued config entry
+  /// (compiler, build_flags, graph fingerprints, env.* knobs flattened with
+  /// an "env." prefix) plus "scale". Reports written before provenance
+  /// existed simply have an empty map and compare as compatible.
+  std::map<std::string, std::string> provenance;
+  bool has_scale = false;
+  double scale = 0.0;
+
   std::map<std::string, double> totals;  ///< wall_ms, cpu_ms, peak_rss_bytes...
 
   struct SpanRow {
@@ -50,6 +59,30 @@ struct RunReportData {
   };
   std::map<std::string, QuantileRow> quantiles;
   std::int64_t telemetry_frames = 0;  ///< telemetry.frames_written (0 if none)
+
+  /// One estimate from the "diag" section, with its CI95.
+  struct EstimateRow {
+    double mean = 0.0;
+    double ci95_lo = 0.0;
+    double ci95_hi = 0.0;
+    double ci95_width = 0.0;
+    std::uint64_t n = 0;
+    double ess = 0.0;
+  };
+  /// One flagged (cap-exit) source from the "diag" section.
+  struct FlaggedSource {
+    std::string kind;
+    std::uint64_t source = 0;
+    std::uint64_t iterations = 0;
+    double final_value = 0.0;
+  };
+  /// Estimator diagnostics (SNTRUST_DIAG runs only; `has_diag` is false when
+  /// the report carries no "diag" section, and quality gates then no-op).
+  bool has_diag = false;
+  bool diag_converged = true;
+  std::int64_t diag_nonconverged = 0;
+  std::vector<FlaggedSource> flagged_sources;
+  std::map<std::string, EstimateRow> estimates;
 };
 
 /// Parses an in-memory report document; throws std::runtime_error on a
@@ -70,6 +103,17 @@ struct DiffOptions {
   double quantile_threshold_pct = 40.0;
   /// Quantiles below this in both runs are timer noise, not signal.
   double min_quantile_ms = 1.0;
+  /// Quality gates over the "diag" section (only applied when both reports
+  /// carry one): an estimate whose CI95 width grows by more than this
+  /// breaches — the optimization made the estimate *less certain* even if
+  /// it got faster.
+  double ci_widen_threshold_pct = 50.0;
+  /// How many sources may newly exit on an iteration cap (instead of the
+  /// tolerance) before the diff breaches. 0: any new non-convergence fails.
+  std::int64_t max_new_nonconverged = 0;
+  /// Tiny CI widths in both runs are float noise, not an estimate-quality
+  /// signal.
+  double min_ci_width = 1e-9;
 };
 
 struct DiffRow {
@@ -86,10 +130,21 @@ struct DiffResult {
   std::vector<DiffRow> spans;
   std::vector<DiffRow> totals;
   std::vector<DiffRow> quantiles;  ///< telemetry p50/p99 rows per histogram
+  std::vector<DiffRow> quality;    ///< diag CI widths + nonconverged count
   bool breached = false;  ///< any Regressed row past its threshold
 };
 
 const char* to_string(DiffRow::Status status);
+
+/// Checks whether two reports measured the same thing: graph fingerprints
+/// (config keys starting with "graph.") and the workload scale must match
+/// when both sides recorded them — kernel/layout/thread knobs are allowed
+/// to differ (comparing those is the whole point of a perf diff). Returns
+/// an empty string when compatible, otherwise a human-readable explanation
+/// of the first mismatch. Reports without provenance (pre-provenance
+/// baselines) always compare as compatible.
+std::string provenance_mismatch(const RunReportData& baseline,
+                                const RunReportData& candidate);
 
 /// Aligns spans by path and totals by key, classifying each row. A span
 /// breaches when its candidate wall (or cpu with gate_cpu) exceeds baseline

@@ -9,6 +9,7 @@
 #include "exec/sweep.hpp"
 #include "graph/frontier_bfs.hpp"
 #include "markov/walker.hpp"
+#include "obs/diag.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -253,6 +254,21 @@ GateKeeperEvaluation evaluate_gatekeeper(const AttackedGraph& attacked,
       static_cast<double>(honest_admitted) / attacked.num_honest();
   eval.sybils_per_attack_edge = static_cast<double>(sybil_admitted) /
                                 attacked.num_attack_edges();
+  // Diagnostics (SNTRUST_DIAG): admission is a Bernoulli trial per vertex,
+  // so the acceptance rates carry Wilson CI95s over the trial counts. The
+  // tallies above are already thread-count invariant; recording them here
+  // observes but never perturbs the measurement.
+  if (obs::diag_enabled()) {
+    obs::DiagRegistry::instance().record_estimate(
+        "gatekeeper.honest_accept",
+        obs::wilson_ci95(honest_admitted, attacked.num_honest()));
+    const std::uint64_t num_sybils =
+        attacked.graph().num_vertices() - attacked.num_honest();
+    if (num_sybils > 0)
+      obs::DiagRegistry::instance().record_estimate(
+          "gatekeeper.sybil_accept",
+          obs::wilson_ci95(sybil_admitted, num_sybils));
+  }
   obs::record_latency("gatekeeper.eval_ms", eval_clock.elapsed_ms());
   return eval;
 }

@@ -567,6 +567,83 @@ TEST_F(QuantileTest, WindowedHistogramAgesOutOldSamples) {
   EXPECT_DOUBLE_EQ(w.snapshot().value_at_quantile(0.5), 9.0);
 }
 
+TEST_F(QuantileTest, WindowedHistogramSurvivesABackwardsClock) {
+  // A non-monotonic telemetry clock (VM suspend, manual clock step, ntp
+  // slew) must never corrupt the window: samples stamped "in the future"
+  // simply age out of snapshots and their slots recycle on the next record.
+  fake_clock::now_ms.store(10'000);
+  set_telemetry_clock_for_test(&fake_clock::read);
+
+  WindowedQuantileHistogram w{{1000, 4}};  // 250 ms sub-windows
+  w.record(5.0);
+  EXPECT_EQ(w.snapshot().count, 1u);
+
+  // Clock steps backwards by 9 s: the unsigned epoch distance wraps huge,
+  // so the future-stamped slot is treated as aged out — skipped, not merged.
+  fake_clock::now_ms.store(1'000);
+  EXPECT_EQ(w.snapshot().count, 0u);
+
+  // Recording at the earlier time recycles that stale slot cleanly.
+  w.record(7.0);
+  const QuantileSnapshot snap = w.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min, 7.0);
+  EXPECT_DOUBLE_EQ(snap.max, 7.0);
+}
+
+TEST_F(QuantileTest, WindowedHistogramSurvivesClockRolloverNearUint64Max) {
+  // Epochs near 2^64 must not collide with the idle-slot sentinel, and a
+  // wraparound to small timestamps behaves like any backwards step.
+  fake_clock::now_ms.store(~std::uint64_t{0} - 5);
+  set_telemetry_clock_for_test(&fake_clock::read);
+
+  WindowedQuantileHistogram w{{1000, 4}};
+  w.record(3.0);
+  EXPECT_EQ(w.snapshot().count, 1u);
+
+  fake_clock::now_ms.store(3);  // the clock wrapped
+  EXPECT_EQ(w.snapshot().count, 0u);
+  w.record(4.0);
+  EXPECT_EQ(w.snapshot().count, 1u);
+  EXPECT_DOUBLE_EQ(w.snapshot().value_at_quantile(0.5), 4.0);
+}
+
+TEST_F(QuantileTest, WindowedHistogramAbsorbsSameTimestampBursts) {
+  fake_clock::now_ms.store(500);
+  set_telemetry_clock_for_test(&fake_clock::read);
+
+  WindowedQuantileHistogram w{{1000, 4}};
+  // A burst that never advances the clock lands in one sub-window.
+  for (int i = 1; i <= 500; ++i) w.record(static_cast<double>(i));
+  const QuantileSnapshot snap = w.snapshot();
+  EXPECT_EQ(snap.count, 500u);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+
+  // The whole burst ages out together once the window passes.
+  fake_clock::now_ms.store(500 + 1000);
+  EXPECT_EQ(w.snapshot().count, 0u);
+}
+
+TEST_F(QuantileTest, WindowedHistogramHandlesRecordingGaps) {
+  fake_clock::now_ms.store(0);
+  set_telemetry_clock_for_test(&fake_clock::read);
+
+  WindowedQuantileHistogram w{{1000, 4}};
+  w.record(1.0);
+
+  // An idle gap much longer than the window: the stale sample must not
+  // resurface even though its slot was never overwritten in between.
+  fake_clock::now_ms.store(60'000);
+  EXPECT_EQ(w.snapshot().count, 0u);
+  w.record(2.0);
+  w.record(8.0);
+  const QuantileSnapshot snap = w.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.min, 2.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+}
+
 TEST_F(QuantileTest, WindowedOptionsClampToUsableValues) {
   WindowedQuantileHistogram degenerate{{0, 0}};
   // window_ms >= slots >= 2 so the epoch arithmetic stays well defined.

@@ -212,6 +212,22 @@ TEST_F(RunReportTest, EmptyHistogramOmitsUnencodableMinMax) {
   EXPECT_EQ(histogram->find("max"), nullptr);
 }
 
+TEST_F(RunReportTest, EmptyLatencyQuantileOmitsValueFieldsInTelemetry) {
+  // A registered latency histogram that never saw a sample reports NaN
+  // quantiles internally; the telemetry section must carry its count (0)
+  // and omit every value field rather than emit unencodable NaN.
+  Metrics::instance().quantile("report.empty.lat");
+  std::ostringstream out;
+  RunReporter::instance().write(out);
+  const json::Value doc = json::Value::parse(out.str());
+  const json::Value* entry =
+      doc.find("telemetry")->find("quantiles")->find("report.empty.lat");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->find("count")->as_int(), 0);
+  for (const char* key : {"p50", "p90", "p99", "p999", "min", "max"})
+    EXPECT_EQ(entry->find(key), nullptr) << key;
+}
+
 TEST_F(RunReportTest, HostileSpanNamesSurviveTheReport) {
   {
     Span span{"span \"with\"\nhostile \\ name ☃"};

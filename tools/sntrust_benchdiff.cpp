@@ -3,12 +3,18 @@
 //
 //   sntrust_benchdiff [options] <baseline.json> <candidate.json>
 //       Aligns the two reports by span path, prints a regression table
-//       (regressions first), and exits 1 when any span or total breaches
-//       its threshold — CI wires this between a committed baseline and the
-//       fresh run, humans point it at any two reports.
-//   sntrust_benchdiff --summary <report.json>...
-//       Prints a one-line totals summary across the given reports
-//       (scripts/run_all.sh ends with this).
+//       (regressions first), and exits 1 when any span, total, quantile, or
+//       estimate-quality gate breaches — CI wires this between a committed
+//       baseline and the fresh run, humans point it at any two reports.
+//       When both reports carry build/run provenance and their graph
+//       fingerprints or scale disagree, the diff refuses (exit 2) instead
+//       of comparing apples to oranges; --allow-provenance-mismatch
+//       overrides.
+//   sntrust_benchdiff --summary <report.json|telemetry.jsonl>...
+//       Prints a Markdown summary table across the given reports — CI
+//       appends it to $GITHUB_STEP_SUMMARY; scripts/run_all.sh ends with
+//       it. Telemetry .jsonl streams are listed with their frame counts,
+//       including how many trailing frames were lost to truncation.
 //
 // Options:
 //   --threshold-pct <p>       per-span wall regression gate (default 25)
@@ -18,6 +24,9 @@
 //   --quantile-threshold-pct <p> telemetry p50/p99 gate (default 40)
 //   --min-quantile-ms <ms>    ignore quantiles below this in both runs
 //                             (default 1)
+//   --ci-widen-threshold-pct <p> diag estimate CI95-width gate (default 50)
+//   --max-new-nonconverged <n> allowed new cap-exit sources (default 0)
+//   --allow-provenance-mismatch  diff even when provenance disagrees
 //   --cpu                     also gate span/total cpu_ms
 //   --warn-only               print the table but always exit 0
 #include <algorithm>
@@ -26,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "report/run_compare.hpp"
 #include "util/format.hpp"
 
@@ -37,7 +47,7 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  sntrust_benchdiff [options] <baseline.json> <candidate.json>\n"
-         "  sntrust_benchdiff --summary <report.json>...\n"
+         "  sntrust_benchdiff --summary <report.json|telemetry.jsonl>...\n"
          "options:\n"
          "  --threshold-pct <p>        span wall regression gate "
          "(default 25)\n"
@@ -48,19 +58,49 @@ int usage() {
          "(default 40)\n"
          "  --min-quantile-ms <ms>     noise floor for quantiles "
          "(default 1)\n"
+         "  --ci-widen-threshold-pct <p>  diag CI95-width gate (default 50)\n"
+         "  --max-new-nonconverged <n> allowed new cap-exit sources "
+         "(default 0)\n"
+         "  --allow-provenance-mismatch  diff despite provenance mismatch\n"
          "  --cpu                      also gate cpu_ms\n"
          "  --warn-only                report regressions but exit 0\n";
   return 2;
 }
 
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Markdown summary: one table row per run report, a totals row, then one
+// bullet per telemetry stream. Plain enough to read in a terminal, renders
+// as a table when CI appends it to $GITHUB_STEP_SUMMARY.
 int cmd_summary(const std::vector<std::string>& paths) {
+  struct TelemetryLine {
+    std::string path;
+    std::size_t frames;
+    std::uint64_t truncated;
+  };
+  std::vector<TelemetryLine> streams;
+
+  std::cout << "| report | tool | wall (s) | cpu (s) | peak rss (MB) |"
+               " allocs | nonconverged |\n"
+            << "|---|---|---:|---:|---:|---:|---:|\n";
   double wall_ms = 0.0;
   double cpu_ms = 0.0;
   double peak_rss = 0.0;
   double alloc_bytes = 0.0;
   std::uint64_t alloc_count = 0;
+  std::size_t reports = 0;
   for (const std::string& path : paths) {
+    if (ends_with(path, ".jsonl")) {
+      const obs::TelemetryFrames frames = obs::read_telemetry_frames(path);
+      streams.push_back(
+          TelemetryLine{path, frames.frames.size(), frames.truncated_frames});
+      continue;
+    }
     const RunReportData report = load_run_report(path);
+    ++reports;
     auto total = [&report](const char* key) {
       const auto found = report.totals.find(key);
       return found == report.totals.end() ? 0.0 : found->second;
@@ -70,13 +110,31 @@ int cmd_summary(const std::vector<std::string>& paths) {
     peak_rss = std::max(peak_rss, total("peak_rss_bytes"));
     alloc_bytes += total("alloc_bytes");
     alloc_count += static_cast<std::uint64_t>(total("alloc_count"));
+    std::cout << "| " << path << " | " << report.tool << " | "
+              << fixed(total("wall_ms") / 1000.0, 1) << " | "
+              << fixed(total("cpu_ms") / 1000.0, 1) << " | "
+              << fixed(total("peak_rss_bytes") / (1024.0 * 1024.0), 1)
+              << " | "
+              << with_thousands(
+                     static_cast<std::uint64_t>(total("alloc_count")))
+              << " | "
+              << (report.has_diag ? std::to_string(report.diag_nonconverged)
+                                  : std::string{"-"})
+              << " |\n";
   }
-  std::cout << paths.size() << " report" << (paths.size() == 1 ? "" : "s")
-            << ": wall " << fixed(wall_ms / 1000.0, 1) << " s, cpu "
-            << fixed(cpu_ms / 1000.0, 1) << " s, peak rss "
-            << fixed(peak_rss / (1024.0 * 1024.0), 1) << " MB, allocs "
-            << with_thousands(alloc_count) << " ("
-            << fixed(alloc_bytes / (1024.0 * 1024.0), 1) << " MB)\n";
+  std::cout << "| **total** (" << reports << " report"
+            << (reports == 1 ? "" : "s") << ") | | "
+            << fixed(wall_ms / 1000.0, 1) << " | " << fixed(cpu_ms / 1000.0, 1)
+            << " | " << fixed(peak_rss / (1024.0 * 1024.0), 1) << " | "
+            << with_thousands(alloc_count) << " | |\n";
+  for (const TelemetryLine& stream : streams) {
+    std::cout << "\n- `" << stream.path << "`: " << stream.frames
+              << " telemetry frame" << (stream.frames == 1 ? "" : "s");
+    if (stream.truncated > 0)
+      std::cout << " (" << stream.truncated << " truncated frame"
+                << (stream.truncated == 1 ? "" : "s") << " dropped)";
+    std::cout << "\n";
+  }
   return 0;
 }
 
@@ -87,6 +145,7 @@ int main(int argc, char** argv) {
     DiffOptions options;
     bool warn_only = false;
     bool summary = false;
+    bool allow_provenance_mismatch = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -107,6 +166,13 @@ int main(int argc, char** argv) {
         if (!next_double(options.quantile_threshold_pct)) return usage();
       } else if (arg == "--min-quantile-ms") {
         if (!next_double(options.min_quantile_ms)) return usage();
+      } else if (arg == "--ci-widen-threshold-pct") {
+        if (!next_double(options.ci_widen_threshold_pct)) return usage();
+      } else if (arg == "--max-new-nonconverged") {
+        if (i + 1 >= argc) return usage();
+        options.max_new_nonconverged = std::atoll(argv[++i]);
+      } else if (arg == "--allow-provenance-mismatch") {
+        allow_provenance_mismatch = true;
       } else if (arg == "--cpu") {
         options.gate_cpu = true;
       } else if (arg == "--warn-only") {
@@ -129,6 +195,16 @@ int main(int argc, char** argv) {
 
     const RunReportData baseline = load_run_report(paths[0]);
     const RunReportData candidate = load_run_report(paths[1]);
+    if (const std::string mismatch = provenance_mismatch(baseline, candidate);
+        !mismatch.empty()) {
+      if (!allow_provenance_mismatch) {
+        std::cerr << "error: refusing to diff: " << mismatch
+                  << "\n(pass --allow-provenance-mismatch to compare "
+                     "anyway)\n";
+        return 2;
+      }
+      std::cerr << "warning: " << mismatch << "\n";
+    }
     std::cout << "baseline:  " << paths[0] << " (" << baseline.tool << ")\n"
               << "candidate: " << paths[1] << " (" << candidate.tool
               << ")\n\n";

@@ -75,6 +75,7 @@
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "markov/frontier.hpp"
+#include "obs/diag.hpp"
 #include "obs/run_report.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -114,7 +115,9 @@ int usage() {
                "  --max-failed-frac <f> tolerated failed-source fraction "
                "per sweep (default 0)\n"
                "  --telemetry <path[:period_ms]> stream live JSONL telemetry "
-               "frames during the run\n";
+               "frames during the run\n"
+               "  --diag               record estimator diagnostics "
+               "(convergence traces, CI95s) in the report\n";
   return 64;  // EX_USAGE
 }
 
@@ -160,6 +163,10 @@ int cmd_measure(const std::string& path, std::uint32_t sources) {
   reporter.set_config("edgelist", path);
   reporter.set_config("graph_n", g.num_vertices());
   reporter.set_config("graph_m", g.num_edges());
+  // Provenance: benchdiff/diag refuse to diff reports whose graph.*
+  // fingerprints disagree — two runs over different graphs are not
+  // comparable.
+  reporter.set_config("graph.measured", to_hex(g.fingerprint()));
   reporter.set_config("mixing_sources", sources);
 
   PropertySuiteOptions options;
@@ -207,6 +214,7 @@ int cmd_attack(const std::string& path, VertexId sybils,
   reporter.set_config("edgelist", path);
   reporter.set_config("graph_n", g.num_vertices());
   reporter.set_config("graph_m", g.num_edges());
+  reporter.set_config("graph.measured", to_hex(g.fingerprint()));
   reporter.set_config("sybils", sybils);
   reporter.set_config("attack_edges", attack_edges);
   AttackParams attack;
@@ -322,6 +330,14 @@ int main(int argc, char** argv) {
         if (frac < 0.0 || frac > 1.0) return usage();
         exec::set_max_failed_frac(frac);
         obs::RunReporter::instance().set_config("max_failed_frac", frac);
+        continue;
+      }
+      if (arg == "--diag") {
+        // Same as SNTRUST_DIAG=1: record convergence traces, CI95s, and
+        // non-convergence flags into the report's "diag" section. Bitwise
+        // neutral to every measured output.
+        obs::set_diag_enabled(true);
+        obs::RunReporter::instance().set_config("diag", true);
         continue;
       }
       if (arg == "--telemetry") {
