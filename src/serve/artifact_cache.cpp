@@ -1,0 +1,101 @@
+#include "serve/artifact_cache.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+
+namespace sntrust::serve {
+
+namespace {
+
+std::size_t resolve_capacity(std::size_t requested) {
+  if (requested != 0) return requested;
+  const std::int64_t cap = env_int("SNTRUST_SERVE_CACHE_CAP", 8);
+  return cap < 1 ? 1 : static_cast<std::size_t>(cap);
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(std::size_t capacity)
+    : capacity_(resolve_capacity(capacity)),
+      hits_(obs::metrics_counter("serve.cache_hits")),
+      misses_(obs::metrics_counter("serve.cache_misses")),
+      evictions_(obs::metrics_counter("serve.cache_evictions")),
+      invalidations_(obs::metrics_counter("serve.cache_invalidations")) {}
+
+std::shared_ptr<const void> ArtifactCache::lookup(const ArtifactKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.add();
+    return nullptr;
+  }
+  hits_.add();
+  // LRU touch: splice relinks the existing node, no allocation on the hit
+  // path (part of the serving layer's no-per-query-heap contract).
+  lru_.splice(lru_.begin(), lru_, it->second.recency);
+  return it->second.value;
+}
+
+std::shared_ptr<const void> ArtifactCache::insert(
+    const ArtifactKey& key, std::shared_ptr<const void> value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A concurrent miss computed the same artifact first; adopt the winner
+    // so every caller shares one copy.
+    lru_.splice(lru_.begin(), lru_, it->second.recency);
+    return it->second.value;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.add();
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{value, lru_.begin()});
+  return value;
+}
+
+bool ArtifactCache::contains(const ArtifactKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.contains(key);
+}
+
+std::size_t ArtifactCache::invalidate_graph(std::uint64_t graph_fp) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.graph_fp == graph_fp) {
+      lru_.erase(it->second.recency);
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped != 0) {
+    invalidations_.add(dropped);
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return dropped;
+}
+
+std::size_t ArtifactCache::invalidate_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t dropped = entries_.size();
+  entries_.clear();
+  lru_.clear();
+  if (dropped != 0) invalidations_.add(dropped);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return dropped;
+}
+
+std::size_t ArtifactCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace sntrust::serve

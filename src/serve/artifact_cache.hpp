@@ -1,0 +1,108 @@
+// Versioned LRU cache of precomputed serving artifacts.
+//
+// Entries are keyed by (artifact kind, config fingerprint, graph
+// fingerprint) — the full provenance of a precomputation — so a changed
+// seed set, defense knob, or graph can never serve a stale artifact: it
+// simply misses and recomputes. Invalidation is explicit
+// (`invalidate_graph` when a graph is replaced, `invalidate_all`) and bumps
+// the cache *version*, which services use to refresh their resolved
+// artifact pointers without taking the cache lock on every query.
+//
+// Capacity is bounded (SNTRUST_SERVE_CACHE_CAP entries, LRU eviction) so a
+// service cycling through many configurations — per-tenant seed sets, say —
+// holds only the hot working set. Hits, misses, evictions, and
+// invalidations land in the metrics registry (`serve.cache_*`), which the
+// serving bench reports as its hit rate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace sntrust::obs {
+class Counter;
+}
+
+namespace sntrust::serve {
+
+/// Artifact kinds the serving layer precomputes (artifacts.hpp).
+enum class ArtifactKind : std::uint32_t {
+  kSybilRank = 0,
+  kGateKeeper = 1,
+  kCoreness = 2,
+  kLandmark = 3,
+};
+
+/// Full provenance of one precomputation. Fixed-size and ordered, so cache
+/// lookups build keys on the stack and never hash strings.
+struct ArtifactKey {
+  ArtifactKind kind = ArtifactKind::kSybilRank;
+  std::uint64_t config_fp = 0;
+  std::uint64_t graph_fp = 0;
+
+  friend auto operator<=>(const ArtifactKey&, const ArtifactKey&) = default;
+};
+
+class ArtifactCache {
+ public:
+  /// `capacity` 0 resolves SNTRUST_SERVE_CACHE_CAP (default 8 entries; each
+  /// entry holds O(n) per-vertex arrays, so the cap bounds resident memory).
+  explicit ArtifactCache(std::size_t capacity = 0);
+
+  /// Returns the cached artifact for `key`, or runs `make` (outside the
+  /// cache lock — artifact computation can take seconds) and inserts its
+  /// result. Concurrent misses on the same key may both compute; the first
+  /// insertion wins and the loser adopts it. `T` must match the type stored
+  /// for this key's kind.
+  template <typename T, typename Make>
+  std::shared_ptr<const T> get_or_compute(const ArtifactKey& key, Make&& make) {
+    if (std::shared_ptr<const void> hit = lookup(key))
+      return std::static_pointer_cast<const T>(hit);
+    std::shared_ptr<const T> computed =
+        std::make_shared<const T>(make());
+    return std::static_pointer_cast<const T>(insert(key, computed));
+  }
+
+  /// Hit without side effects (no LRU touch, no counters); tests use this.
+  bool contains(const ArtifactKey& key) const;
+
+  /// Drops every entry precomputed against `graph_fp`; bumps the version
+  /// when anything was dropped. The hook `replace_graph` calls.
+  std::size_t invalidate_graph(std::uint64_t graph_fp);
+  /// Drops everything and bumps the version.
+  std::size_t invalidate_all();
+
+  /// Monotonic invalidation epoch. Services snapshot it when they resolve
+  /// artifacts and re-resolve when it moved — one relaxed load per query.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::shared_ptr<const void> lookup(const ArtifactKey& key);
+  std::shared_ptr<const void> insert(const ArtifactKey& key,
+                                     std::shared_ptr<const void> value);
+
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::list<ArtifactKey>::iterator recency;  ///< position in lru_
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::map<ArtifactKey, Entry> entries_;
+  std::list<ArtifactKey> lru_;  ///< front = most recently used
+  std::atomic<std::uint64_t> version_{1};
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Counter& invalidations_;
+};
+
+}  // namespace sntrust::serve

@@ -1,0 +1,454 @@
+#include "serve/trust_service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "graph/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/parallel.hpp"
+#include "util/env.hpp"
+
+namespace sntrust::serve {
+
+/// Per-submission completion latch shared by every request of one
+/// ask/ask_batch call; lives on the client's stack.
+struct Ticket {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+};
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t resolve_batch_size(std::uint32_t requested) {
+  if (requested != 0) return requested;
+  const std::int64_t value = env_int("SNTRUST_SERVE_BATCH", 256);
+  return value < 1 ? 1 : static_cast<std::uint32_t>(value);
+}
+
+std::uint32_t resolve_queue_capacity(std::uint32_t requested) {
+  if (requested != 0) return requested;
+  const std::int64_t value = env_int("SNTRUST_SERVE_QUEUE_CAP", 4096);
+  return value < 1 ? 1 : static_cast<std::uint32_t>(value);
+}
+
+// The four per-artifact answer kernels. answer_uncached feeds them freshly
+// computed artifacts and the cached/batched paths feed them cache-resident
+// ones, so all serving paths are bitwise identical by construction.
+
+Answer answer_sybilrank(const SybilRankArtifact& a, VertexId v, VertexId n) {
+  Answer answer;
+  answer.status = QueryStatus::kOk;
+  answer.value = a.scores[v];
+  answer.percentile = 1.0 - static_cast<double>(a.rank_of[v]) /
+                                static_cast<double>(n);
+  answer.admitted = a.rank_of[v] < a.admit_rank;
+  return answer;
+}
+
+Answer answer_gatekeeper(const GateKeeperArtifact& a, VertexId v) {
+  Answer answer;
+  answer.status = QueryStatus::kOk;
+  answer.value = static_cast<double>(a.admissions[v]);
+  answer.percentile = static_cast<double>(a.admissions[v]) /
+                      static_cast<double>(a.num_distributers);
+  answer.admitted = a.admissions[v] >= a.threshold;
+  return answer;
+}
+
+Answer answer_coreness(const CorenessArtifact& a, VertexId v) {
+  Answer answer;
+  answer.status = QueryStatus::kOk;
+  answer.value = static_cast<double>(a.coreness[v]);
+  answer.percentile = a.percentile[v];
+  answer.admitted = false;
+  return answer;
+}
+
+Answer answer_landmark(const LandmarkArtifact& a, const Graph& g, VertexId v) {
+  Answer answer;
+  answer.status = QueryStatus::kOk;
+  answer.value = a.distribution[v];
+  const double degree = static_cast<double>(g.degree_unchecked(v));
+  answer.percentile =
+      degree == 0.0
+          ? 0.0
+          : a.distribution[v] * 2.0 *
+                static_cast<double>(g.num_edges()) / degree;
+  answer.admitted = false;
+  return answer;
+}
+
+}  // namespace
+
+TrustService::TrustService(Graph graph, Options options)
+    : graph_(std::move(graph)),
+      options_(std::move(options)),
+      batch_size_(resolve_batch_size(options_.batch_size)),
+      queue_capacity_(resolve_queue_capacity(options_.queue_capacity)),
+      cache_(options_.cache_capacity),
+      query_ms_(obs::metrics_quantile("serve.query_ms")),
+      query_ms_window_(obs::metrics_windowed("serve.query_ms")),
+      batch_occupancy_(obs::metrics_histogram("serve.batch_occupancy")),
+      queries_served_(obs::metrics_counter("serve.queries")),
+      queries_cancelled_(obs::metrics_counter("serve.cancelled")),
+      batches_(obs::metrics_counter("serve.batches")),
+      queue_depth_(obs::Metrics::instance().gauge("serve.queue_depth")),
+      artifact_hits_(obs::metrics_counter("serve.cache_hits")) {
+  if (graph_.num_vertices() == 0 || graph_.num_edges() == 0)
+    throw std::invalid_argument("TrustService: graph must have edges");
+  if (options_.config.seeds.empty())
+    throw std::invalid_argument("TrustService: config needs >= 1 seed");
+  for (const VertexId s : options_.config.seeds)
+    if (s >= graph_.num_vertices())
+      throw std::invalid_argument("TrustService: seed out of range");
+  if (options_.config.controller >= graph_.num_vertices())
+    throw std::invalid_argument("TrustService: controller out of range");
+  ring_.resize(queue_capacity_);
+  if (options_.precompute) warm();
+}
+
+TrustService TrustService::open(const std::string& path, Options options) {
+  return TrustService{read_graph_auto(path), std::move(options)};
+}
+
+TrustService::~TrustService() { stop(); }
+
+void TrustService::warm() { ensure_resolved(); }
+
+void TrustService::ensure_resolved() {
+  {
+    std::shared_lock<std::shared_mutex> lock(resolved_mutex_);
+    if (resolved_.sybilrank != nullptr &&
+        resolved_.cache_version == cache_.version()) {
+      artifact_hits_.add();
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(resolved_mutex_);
+  resolve_locked();
+}
+
+void TrustService::resolve_locked() {
+  if (resolved_.sybilrank != nullptr &&
+      resolved_.cache_version == cache_.version())
+    return;
+  obs::Span span{"serve.resolve_artifacts", "serve"};
+  // Snapshot the version *before* resolving: an invalidation racing with
+  // the computation leaves the stored version stale, so the next query
+  // re-resolves instead of serving dropped artifacts.
+  const std::uint64_t version = cache_.version();
+  const std::uint64_t config_fp = options_.config.fingerprint();
+  const std::uint64_t graph_fp = graph_.fingerprint();
+  const auto key = [&](ArtifactKind kind) {
+    return ArtifactKey{kind, config_fp, graph_fp};
+  };
+  resolved_.sybilrank = cache_.get_or_compute<SybilRankArtifact>(
+      key(ArtifactKind::kSybilRank),
+      [&] { return compute_sybilrank_artifact(graph_, options_.config); });
+  resolved_.gatekeeper = cache_.get_or_compute<GateKeeperArtifact>(
+      key(ArtifactKind::kGateKeeper),
+      [&] { return compute_gatekeeper_artifact(graph_, options_.config); });
+  resolved_.coreness = cache_.get_or_compute<CorenessArtifact>(
+      key(ArtifactKind::kCoreness),
+      [&] { return compute_coreness_artifact(graph_); });
+  resolved_.landmark = cache_.get_or_compute<LandmarkArtifact>(
+      key(ArtifactKind::kLandmark),
+      [&] { return compute_landmark_artifact(graph_, options_.config); });
+  resolved_.cache_version = version;
+}
+
+Answer TrustService::answer_resolved(const Resolved& resolved,
+                                     const Query& query) const {
+  if (query.vertex >= graph_.num_vertices()) {
+    Answer answer;
+    answer.status = QueryStatus::kInvalidVertex;
+    answer.admitted = false;
+    answer.value = 0.0;
+    answer.percentile = 0.0;
+    return answer;
+  }
+  switch (query.kind) {
+    case QueryKind::kAdmission:
+    case QueryKind::kTrustScore:
+      return query.defense == Defense::kGateKeeper
+                 ? answer_gatekeeper(*resolved.gatekeeper, query.vertex)
+                 : answer_sybilrank(*resolved.sybilrank, query.vertex,
+                                    graph_.num_vertices());
+    case QueryKind::kCoreness:
+      return answer_coreness(*resolved.coreness, query.vertex);
+    case QueryKind::kLandmark:
+      return answer_landmark(*resolved.landmark, graph_, query.vertex);
+  }
+  Answer answer;
+  answer.status = QueryStatus::kInvalidVertex;
+  return answer;
+}
+
+Answer TrustService::answer(const Query& query) {
+  const std::uint64_t start = now_ns();
+  Answer answer;
+  for (;;) {
+    ensure_resolved();
+    std::shared_lock<std::shared_mutex> lock(resolved_mutex_);
+    // replace_graph can clear resolved_ between ensure_resolved and this
+    // lock; retry instead of dereferencing the cleared pointers.
+    if (resolved_.sybilrank == nullptr) continue;
+    answer = answer_resolved(resolved_, query);
+    break;
+  }
+  const double ms = static_cast<double>(now_ns() - start) * 1e-6;
+  query_ms_.record(ms);
+  query_ms_window_.record(ms);
+  queries_served_.add();
+  return answer;
+}
+
+void TrustService::answer_batch(std::span<const Query> queries,
+                                std::span<Answer> answers) {
+  if (queries.size() != answers.size())
+    throw std::invalid_argument("answer_batch: span sizes differ");
+  for (;;) {
+    ensure_resolved();
+    std::shared_lock<std::shared_mutex> lock(resolved_mutex_);
+    if (resolved_.sybilrank == nullptr) continue;  // raced with replace_graph
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      answers[i] = answer_resolved(resolved_, queries[i]);
+    break;
+  }
+  queries_served_.add(queries.size());
+}
+
+Answer TrustService::answer_uncached(const Query& query) const {
+  if (query.vertex >= graph_.num_vertices()) {
+    Answer answer;
+    answer.status = QueryStatus::kInvalidVertex;
+    answer.admitted = false;
+    return answer;
+  }
+  switch (query.kind) {
+    case QueryKind::kAdmission:
+    case QueryKind::kTrustScore:
+      if (query.defense == Defense::kGateKeeper)
+        return answer_gatekeeper(
+            compute_gatekeeper_artifact(graph_, options_.config),
+            query.vertex);
+      return answer_sybilrank(
+          compute_sybilrank_artifact(graph_, options_.config), query.vertex,
+          graph_.num_vertices());
+    case QueryKind::kCoreness:
+      return answer_coreness(compute_coreness_artifact(graph_), query.vertex);
+    case QueryKind::kLandmark:
+      return answer_landmark(
+          compute_landmark_artifact(graph_, options_.config), graph_,
+          query.vertex);
+  }
+  Answer answer;
+  answer.status = QueryStatus::kInvalidVertex;
+  return answer;
+}
+
+bool TrustService::cancelled() const {
+  return cancelled_.load(std::memory_order_relaxed) ||
+         options_.token.cancelled();
+}
+
+void TrustService::start() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  drain_thread_ = std::thread([this] { drain_loop(); });
+}
+
+void TrustService::stop() {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  drain_thread_.join();
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  running_ = false;
+  stopping_ = false;
+}
+
+bool TrustService::running() const {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  return running_;
+}
+
+Answer TrustService::ask(const Query& query) {
+  Answer answer;
+  ask_batch(std::span<const Query>{&query, 1}, std::span<Answer>{&answer, 1});
+  return answer;
+}
+
+std::size_t TrustService::ask_batch(std::span<const Query> queries,
+                                    std::span<Answer> answers) {
+  if (queries.size() != answers.size())
+    throw std::invalid_argument("ask_batch: span sizes differ");
+  if (queries.empty()) return 0;
+
+  if (cancelled()) {
+    for (Answer& answer : answers) {
+      answer = Answer{};
+      answer.status = QueryStatus::kCancelled;
+    }
+    queries_cancelled_.add(queries.size());
+    return 0;
+  }
+
+  Ticket ticket;
+  ticket.remaining = queries.size();
+  std::size_t refused = 0;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (!running_) {
+      lock.unlock();
+      answer_batch(queries, answers);
+      std::size_t served = 0;
+      for (const Answer& answer : answers)
+        if (answer.status != QueryStatus::kCancelled) ++served;
+      return served;
+    }
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      queue_not_full_.wait(lock, [&] {
+        return ring_size_ < queue_capacity_ || stopping_ ||
+               cancelled_.load(std::memory_order_relaxed);
+      });
+      if (stopping_ || cancelled_.load(std::memory_order_relaxed)) {
+        // Exit-75-style partials: everything not yet enqueued completes
+        // with an explicit kCancelled answer instead of blocking forever.
+        for (std::size_t j = i; j < queries.size(); ++j) {
+          answers[j] = Answer{};
+          answers[j].status = QueryStatus::kCancelled;
+          ++refused;
+        }
+        break;
+      }
+      Request& slot = ring_[(ring_head_ + ring_size_) % queue_capacity_];
+      slot.query = queries[i];
+      slot.answer = &answers[i];
+      slot.ticket = &ticket;
+      slot.enqueue_ns = now_ns();
+      ++ring_size_;
+      queue_not_empty_.notify_one();
+    }
+  }
+  if (refused != 0) {
+    queries_cancelled_.add(refused);
+    std::unique_lock<std::mutex> tlock(ticket.mutex);
+    ticket.remaining -= refused;
+    if (ticket.remaining == 0) ticket.cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> tlock(ticket.mutex);
+    ticket.cv.wait(tlock, [&] { return ticket.remaining == 0; });
+  }
+  std::size_t served = 0;
+  for (const Answer& answer : answers)
+    if (answer.status != QueryStatus::kCancelled) ++served;
+  return served;
+}
+
+void TrustService::drain_loop() {
+  std::vector<Request> batch;
+  batch.reserve(batch_size_);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      // Bounded waits so the loop notices a deadline/cancel even while the
+      // queue is idle (cancellation is poll-based).
+      queue_not_empty_.wait_for(lock, std::chrono::milliseconds(10), [&] {
+        return ring_size_ > 0 || stopping_ ||
+               cancelled_.load(std::memory_order_relaxed);
+      });
+      if (!cancelled_.load(std::memory_order_relaxed) &&
+          options_.token.cancelled()) {
+        cancelled_.store(true, std::memory_order_relaxed);
+        // Blocked pushers must wake to refuse their remaining queries.
+        queue_not_full_.notify_all();
+      }
+      if (ring_size_ == 0) {
+        if (stopping_) return;  // draining shutdown: queue fully served
+        continue;
+      }
+      const std::size_t take =
+          ring_size_ < batch_size_ ? ring_size_ : batch_size_;
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(ring_[ring_head_]);
+        ring_head_ = (ring_head_ + 1) % queue_capacity_;
+        --ring_size_;
+      }
+      queue_depth_.set(static_cast<double>(ring_size_));
+      queue_not_full_.notify_all();
+    }
+    serve_batch(batch);
+    batch.clear();
+  }
+}
+
+void TrustService::serve_batch(std::vector<Request>& batch) {
+  batches_.add();
+  batch_occupancy_.observe(static_cast<double>(batch.size()));
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    // The cancellation arrived before this batch was popped: refuse it
+    // explicitly (the batch already in flight when the deadline hit was
+    // completed by the previous iteration — draining, never abandoning).
+    for (Request& request : batch) {
+      *request.answer = Answer{};
+      request.answer->status = QueryStatus::kCancelled;
+    }
+    queries_cancelled_.add(batch.size());
+  } else {
+    std::shared_lock<std::shared_mutex> lock(resolved_mutex_, std::defer_lock);
+    for (;;) {
+      ensure_resolved();
+      lock.lock();
+      if (resolved_.sybilrank != nullptr) break;  // raced with replace_graph
+      lock.unlock();
+    }
+    const std::uint64_t completed = now_ns();
+    // Fan the batch out on the process pool; answers are independent pure
+    // reads, so any grain/thread count serves bitwise-identical answers.
+    parallel::parallel_for(
+        0, batch.size(),
+        [&](std::size_t i, std::uint32_t) {
+          Request& request = batch[i];
+          *request.answer = answer_resolved(resolved_, request.query);
+          const double ms =
+              static_cast<double>(completed - request.enqueue_ns) * 1e-6;
+          query_ms_.record(ms);
+          query_ms_window_.record(ms);
+        },
+        /*grain=*/64);
+    queries_served_.add(batch.size());
+  }
+  for (Request& request : batch) {
+    std::unique_lock<std::mutex> tlock(request.ticket->mutex);
+    if (--request.ticket->remaining == 0) request.ticket->cv.notify_all();
+  }
+}
+
+void TrustService::replace_graph(Graph graph) {
+  if (graph.num_vertices() == 0 || graph.num_edges() == 0)
+    throw std::invalid_argument("replace_graph: graph must have edges");
+  std::unique_lock<std::shared_mutex> lock(resolved_mutex_);
+  const std::uint64_t old_fp = graph_.fingerprint();
+  graph_ = std::move(graph);
+  cache_.invalidate_graph(old_fp);
+  resolved_ = Resolved{};
+}
+
+}  // namespace sntrust::serve

@@ -1,0 +1,232 @@
+// Long-lived in-process trust-query service (DESIGN.md §15).
+//
+// A `TrustService` loads a graph once (any format `read_graph_auto`
+// sniffs, including zero-copy mmap snapshots), precomputes the per-defense
+// serving artifacts into the process's `ArtifactCache`, and then answers
+// point queries — "is v admissible under SybilRank/GateKeeper?", "trust
+// score of v from the seed set", "coreness/percentile of v", "landmark walk
+// probability at v" — through three paths with *bitwise identical* answers:
+//
+//   * `answer()` / `answer_batch()`: caller-thread reads against the
+//     resolved artifacts. The warm path performs **no heap allocation** per
+//     query (fixed-size Answer, stack keys, cached metric handles) — pinned
+//     by ServeAllocStats in tests.
+//   * `ask()` / `ask_batch()`: the pipelined path. Requests enqueue into a
+//     bounded MPMC ring (SNTRUST_SERVE_QUEUE_CAP) and a drain thread serves
+//     them in configurable batches (SNTRUST_SERVE_BATCH) fanned out on the
+//     src/parallel pool; clients block on a per-batch ticket. Per-query
+//     latency (enqueue -> completion) lands in the `serve.query_ms`
+//     quantile histograms, batch occupancy in `serve.batch_occupancy`.
+//   * `answer_uncached()`: the naive recompute-per-query reference the
+//     serving bench measures the cache against (and the identity oracle the
+//     tests pin batched answers to).
+//
+// Answers are pure functions of (artifacts, query) and artifacts are built
+// by the library's deterministic kernels, so every path agrees bitwise at
+// any thread count, batch size, and arrival order.
+//
+// Shutdown drains: `stop()` serves everything already queued before the
+// drain thread exits. Cancellation (process signal/deadline or the token in
+// Options) is the exit-75-style partial path — the in-flight batch
+// completes, queued-but-unserved requests complete with
+// `QueryStatus::kCancelled`, and new `ask()`s are refused with the same
+// status, so closed-loop clients always unblock with explicit partials.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/cancel.hpp"
+#include "graph/graph.hpp"
+#include "serve/artifact_cache.hpp"
+#include "serve/artifacts.hpp"
+
+namespace sntrust::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class QuantileHistogram;
+class WindowedQuantileHistogram;
+}  // namespace sntrust::obs
+
+namespace sntrust::serve {
+
+enum class Defense : std::uint8_t { kSybilRank = 0, kGateKeeper = 1 };
+
+enum class QueryKind : std::uint8_t {
+  kAdmission = 0,   ///< is `vertex` admitted under `defense`?
+  kTrustScore = 1,  ///< defense's trust value at `vertex`
+  kCoreness = 2,    ///< coreness + ECDF percentile of `vertex`
+  kLandmark = 3,    ///< landmark-walk probability mass at `vertex`
+};
+
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,
+  kInvalidVertex = 1,  ///< vertex >= n
+  kCancelled = 2,      ///< refused/unserved due to cancellation or deadline
+};
+
+/// Fixed-size request. Trivially copyable so the request ring never touches
+/// the heap.
+struct Query {
+  QueryKind kind = QueryKind::kTrustScore;
+  Defense defense = Defense::kSybilRank;
+  VertexId vertex = 0;
+};
+
+/// Fixed-size answer — the admission hot path allocates nothing per query.
+/// Field meaning by kind:
+///   kAdmission/kTrustScore + kSybilRank: value = degree-normalized trust,
+///     percentile = 1 - rank/n (1 = most trusted), admitted = rank cutoff;
+///   kAdmission/kTrustScore + kGateKeeper: value = admitting distributers,
+///     percentile = value / num_distributers, admitted = vote threshold;
+///   kCoreness: value = coreness, percentile = coreness ECDF at v;
+///   kLandmark: value = walk probability at v, percentile = value relative
+///     to the stationary mass deg(v)/2m (>1 = walk favours v).
+struct Answer {
+  QueryStatus status = QueryStatus::kCancelled;
+  bool admitted = false;
+  /// Explicit (zeroed) padding so the struct has no indeterminate bytes and
+  /// the bitwise-identity contract can be checked with memcmp.
+  std::uint8_t reserved[6] = {};
+  double value = 0.0;
+  double percentile = 0.0;
+
+  friend bool operator==(const Answer&, const Answer&) = default;
+};
+static_assert(sizeof(Answer) == 24, "Answer must carry no implicit padding");
+
+class TrustService {
+ public:
+  struct Options {
+    ServiceConfig config;
+    /// Max queries served per drain batch; 0 = SNTRUST_SERVE_BATCH (256).
+    std::uint32_t batch_size = 0;
+    /// Request-ring capacity; 0 = SNTRUST_SERVE_QUEUE_CAP (4096).
+    std::uint32_t queue_capacity = 0;
+    /// Artifact-cache capacity; 0 = SNTRUST_SERVE_CACHE_CAP (8).
+    std::size_t cache_capacity = 0;
+    /// Warm every artifact during construction (a cold service warms lazily
+    /// on first touch instead).
+    bool precompute = true;
+    /// Cancellation observed by the drain loop *in addition to* the process
+    /// state (signals, SNTRUST_DEADLINE_MS).
+    exec::CancelToken token;
+  };
+
+  /// Serves `graph`. Throws std::invalid_argument for empty/edgeless graphs
+  /// or out-of-range config vertices.
+  TrustService(Graph graph, Options options);
+  /// Loads any supported on-disk format (text/binary/mmap snapshot).
+  static TrustService open(const std::string& path, Options options);
+  ~TrustService();
+
+  TrustService(const TrustService&) = delete;
+  TrustService& operator=(const TrustService&) = delete;
+
+  const Graph& graph() const noexcept { return graph_; }
+  const ServiceConfig& config() const noexcept { return options_.config; }
+  ArtifactCache& cache() noexcept { return cache_; }
+  std::uint32_t batch_size() const noexcept { return batch_size_; }
+
+  /// Ensures all four artifacts are resident (the constructor does this
+  /// unless Options::precompute was false).
+  void warm();
+
+  /// Caller-thread cached read; no per-query heap allocation once warm.
+  Answer answer(const Query& query);
+  void answer_batch(std::span<const Query> queries, std::span<Answer> answers);
+
+  /// Naive recompute-per-query reference: rebuilds the artifact the query
+  /// needs from scratch, bypassing the cache. The serving bench's "before".
+  Answer answer_uncached(const Query& query) const;
+
+  /// Starts the drain thread (idempotent).
+  void start();
+  /// Draining shutdown: everything already queued is served, then the drain
+  /// thread exits (idempotent).
+  void stop();
+  bool running() const;
+
+  /// Blocking pipelined query. Falls back to the direct path when the
+  /// service is not running; returns kCancelled after cancellation.
+  Answer ask(const Query& query);
+  /// Enqueues the whole span under one completion ticket; returns the
+  /// number of answers with status != kCancelled (the partial-result count
+  /// under a deadline).
+  std::size_t ask_batch(std::span<const Query> queries,
+                        std::span<Answer> answers);
+
+  /// Swaps the served graph. Artifacts keyed by the old graph fingerprint
+  /// are dropped from the cache; the next query warms against `graph`.
+  void replace_graph(Graph graph);
+
+ private:
+  /// Artifact pointers resolved against one (config, graph, cache-version)
+  /// snapshot; refreshed when the cache version moves.
+  struct Resolved {
+    std::shared_ptr<const SybilRankArtifact> sybilrank;
+    std::shared_ptr<const GateKeeperArtifact> gatekeeper;
+    std::shared_ptr<const CorenessArtifact> coreness;
+    std::shared_ptr<const LandmarkArtifact> landmark;
+    std::uint64_t cache_version = 0;
+  };
+
+  struct Request {
+    Query query;
+    Answer* answer = nullptr;
+    struct Ticket* ticket = nullptr;
+    std::uint64_t enqueue_ns = 0;
+  };
+
+  void ensure_resolved();
+  void resolve_locked();
+  Answer answer_resolved(const Resolved& resolved, const Query& query) const;
+  void drain_loop();
+  void serve_batch(std::vector<Request>& batch);
+  bool cancelled() const;
+
+  Graph graph_;
+  Options options_;
+  std::uint32_t batch_size_;
+  std::uint32_t queue_capacity_;
+  ArtifactCache cache_;
+
+  mutable std::shared_mutex resolved_mutex_;
+  Resolved resolved_;
+
+  // Bounded MPMC request ring.
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::vector<Request> ring_;
+  std::size_t ring_head_ = 0;  ///< next pop position
+  std::size_t ring_size_ = 0;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::atomic<bool> cancelled_{false};
+  std::thread drain_thread_;
+
+  // Cached metric handles: the per-query hot path must not look up names.
+  obs::QuantileHistogram& query_ms_;
+  obs::WindowedQuantileHistogram& query_ms_window_;
+  obs::Histogram& batch_occupancy_;
+  obs::Counter& queries_served_;
+  obs::Counter& queries_cancelled_;
+  obs::Counter& batches_;
+  obs::Gauge& queue_depth_;
+  /// Same registry counter the ArtifactCache bumps on lookup hits: a
+  /// resolution served from the resolved snapshot (no recompute, no LRU
+  /// round-trip) is still a cache hit at the artifact layer.
+  obs::Counter& artifact_hits_;
+};
+
+}  // namespace sntrust::serve

@@ -1,0 +1,28 @@
+#include "serve/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sntrust::serve {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
+  if (!(s >= 0.0)) throw std::invalid_argument("ZipfGenerator: s must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail unreachable
+}
+
+std::uint64_t ZipfGenerator::operator()(Rng& rng) const {
+  const double u = rng.uniform_real();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace sntrust::serve

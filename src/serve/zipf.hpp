@@ -1,0 +1,38 @@
+// Deterministic Zipf-skewed integer sampler for the serving bench.
+//
+// Real trust-query traffic is heavily skewed: a few celebrities / suspects
+// attract most of the lookups. The closed-loop driver models that with a
+// Zipf(s) distribution over [0, n): P(k) proportional to 1 / (k+1)^s. The
+// sampler inverts the CDF with a binary search over a precomputed prefix
+// table, so draws are a pure function of (n, s, the Rng stream) — the same
+// seed replays the same query trace on every machine, which is what makes
+// serving benchmarks diffable run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sntrust::serve {
+
+class ZipfGenerator {
+ public:
+  /// Zipf over [0, n) with exponent `s >= 0` (0 = uniform). Precomputes the
+  /// normalized CDF once: O(n) memory, O(log n) per draw. Throws
+  /// std::invalid_argument when n == 0 or s < 0.
+  ZipfGenerator(std::uint64_t n, double s);
+
+  /// Next rank in [0, n): rank 0 is the hottest key. Deterministic in the
+  /// Rng stream (one uniform_real draw per call).
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::uint64_t n() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k), cdf_.back() == 1
+};
+
+}  // namespace sntrust::serve

@@ -1,0 +1,328 @@
+#include "serve/trust_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "parallel/parallel.hpp"
+#include "serve/artifact_cache.hpp"
+#include "serve/zipf.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust::serve {
+namespace {
+
+using parallel::ScopedThreadCount;
+
+Graph expander(VertexId n, std::uint64_t seed) {
+  return largest_component(barabasi_albert(n, 4, seed)).graph;
+}
+
+TrustService::Options small_options() {
+  TrustService::Options options;
+  options.config.seeds = {0, 1, 2};
+  options.config.gatekeeper.seed = 7;
+  return options;
+}
+
+std::uint64_t counter_value(const char* name) {
+  const obs::MetricsSnapshot snap = obs::Metrics::instance().snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// The deterministic query mix the tests replay (all kinds, both defenses).
+std::vector<Query> query_mix(const Graph& g, std::size_t count,
+                             std::uint64_t seed) {
+  const ZipfGenerator zipf{g.num_vertices(), 0.99};
+  Rng rng{seed};
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Query q;
+    q.vertex = static_cast<VertexId>(zipf(rng));
+    q.kind = static_cast<QueryKind>(rng.uniform(4));
+    q.defense = rng.bernoulli(0.5) ? Defense::kSybilRank : Defense::kGateKeeper;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::metrics_reset_all(); }
+  void TearDown() override { obs::metrics_reset_all(); }
+};
+
+// ------------------------------------------------------------ zipf sampler ---
+
+TEST(Zipf, DeterministicAcrossStreamsAndSkewedTowardLowRanks) {
+  const ZipfGenerator zipf{1000, 0.99};
+  Rng a{42}, b{42};
+  std::vector<std::uint64_t> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t x = zipf(a);
+    ASSERT_EQ(x, zipf(b));  // same seed => same trace, draw for draw
+    ASSERT_LT(x, 1000u);
+    ++counts[x];
+  }
+  // Zipf(0.99): rank 0 alone carries ~13% of the mass; the top decile
+  // dominates the bottom decile by a wide margin.
+  std::uint64_t top = 0, bottom = 0;
+  for (int i = 0; i < 100; ++i) top += counts[i];
+  for (int i = 900; i < 1000; ++i) bottom += counts[i];
+  EXPECT_GT(counts[0], counts[500]);
+  EXPECT_GT(top, 10 * bottom);
+}
+
+TEST(Zipf, ZeroExponentIsUniformAndBadArgsThrow) {
+  const ZipfGenerator uniform{4, 0.0};
+  Rng rng{1};
+  std::vector<std::uint64_t> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[uniform(rng)];
+  for (const std::uint64_t c : counts) {
+    EXPECT_GT(c, 1700u);
+    EXPECT_LT(c, 2300u);
+  }
+  EXPECT_THROW(ZipfGenerator(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, -0.5), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- lru cache ---
+
+TEST_F(ServeTest, CacheHitsMissesAndLruEviction) {
+  ArtifactCache cache{2};
+  const auto key = [](std::uint64_t graph_fp) {
+    return ArtifactKey{ArtifactKind::kCoreness, 1, graph_fp};
+  };
+  int computes = 0;
+  const auto make = [&computes] {
+    ++computes;
+    return CorenessArtifact{};
+  };
+  cache.get_or_compute<CorenessArtifact>(key(1), make);  // miss
+  cache.get_or_compute<CorenessArtifact>(key(1), make);  // hit
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(counter_value("serve.cache_hits"), 1u);
+  EXPECT_EQ(counter_value("serve.cache_misses"), 1u);
+
+  cache.get_or_compute<CorenessArtifact>(key(2), make);  // miss, cache full
+  cache.get_or_compute<CorenessArtifact>(key(1), make);  // hit; 2 now LRU
+  cache.get_or_compute<CorenessArtifact>(key(3), make);  // miss, evicts 2
+  EXPECT_EQ(counter_value("serve.cache_evictions"), 1u);
+  EXPECT_TRUE(cache.contains(key(1)));
+  EXPECT_FALSE(cache.contains(key(2)));
+  EXPECT_TRUE(cache.contains(key(3)));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(ServeTest, CacheInvalidationByGraphFingerprintBumpsVersion) {
+  ArtifactCache cache{8};
+  const auto make = [] { return CorenessArtifact{}; };
+  cache.get_or_compute<CorenessArtifact>(
+      ArtifactKey{ArtifactKind::kCoreness, 1, 10}, make);
+  cache.get_or_compute<CorenessArtifact>(
+      ArtifactKey{ArtifactKind::kSybilRank, 1, 10}, make);
+  cache.get_or_compute<CorenessArtifact>(
+      ArtifactKey{ArtifactKind::kCoreness, 1, 20}, make);
+  const std::uint64_t version = cache.version();
+  EXPECT_EQ(cache.invalidate_graph(10), 2u);  // both graph-10 entries drop
+  EXPECT_GT(cache.version(), version);        // epoch moved
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(counter_value("serve.cache_invalidations"), 2u);
+  EXPECT_EQ(cache.invalidate_graph(10), 0u);  // idempotent, no extra bump
+  EXPECT_EQ(cache.invalidate_all(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------- trust service ---
+
+TEST_F(ServeTest, RejectsBadConstruction) {
+  EXPECT_THROW(TrustService(Graph{}, small_options()), std::invalid_argument);
+  Graph g = expander(100, 1);
+  TrustService::Options no_seeds = small_options();
+  no_seeds.config.seeds.clear();
+  EXPECT_THROW(TrustService(std::move(g), std::move(no_seeds)),
+               std::invalid_argument);
+  Graph g2 = expander(100, 1);
+  TrustService::Options bad_seed = small_options();
+  bad_seed.config.seeds = {1u << 30};
+  EXPECT_THROW(TrustService(std::move(g2), std::move(bad_seed)),
+               std::invalid_argument);
+}
+
+TEST_F(ServeTest, AnswersMatchUncachedReferenceBitwise) {
+  TrustService service{expander(300, 2), small_options()};
+  for (const Query& q : query_mix(service.graph(), 32, 99)) {
+    const Answer cached = service.answer(q);
+    const Answer uncached = service.answer_uncached(q);
+    ASSERT_EQ(std::memcmp(&cached, &uncached, sizeof(Answer)), 0);
+  }
+  Query out_of_range;
+  out_of_range.vertex = service.graph().num_vertices();
+  EXPECT_EQ(service.answer(out_of_range).status, QueryStatus::kInvalidVertex);
+}
+
+TEST_F(ServeTest, BatchedPipelinedAnswersAreBitwiseIdentical) {
+  TrustService service{expander(300, 3), small_options()};
+  const std::vector<Query> queries = query_mix(service.graph(), 257, 5);
+
+  // Reference: one-at-a-time direct answers, no engine.
+  std::vector<Answer> reference(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    reference[i] = service.answer(queries[i]);
+
+  // answer_batch and the pipelined engine at several batch shapes.
+  std::vector<Answer> direct(queries.size());
+  service.answer_batch(queries, direct);
+  EXPECT_EQ(std::memcmp(direct.data(), reference.data(),
+                        queries.size() * sizeof(Answer)),
+            0);
+  for (const std::uint32_t batch_size : {1u, 7u, 4096u}) {
+    TrustService::Options options = small_options();
+    options.batch_size = batch_size;
+    TrustService engine{expander(300, 3), std::move(options)};
+    engine.start();
+    std::vector<Answer> piped(queries.size());
+    EXPECT_EQ(engine.ask_batch(queries, piped), queries.size());
+    engine.stop();
+    EXPECT_EQ(std::memcmp(piped.data(), reference.data(),
+                          queries.size() * sizeof(Answer)),
+              0)
+        << "batch_size=" << batch_size;
+  }
+}
+
+TEST_F(ServeTest, ThreadCountInvariance) {
+  const std::vector<Query> queries =
+      query_mix(expander(300, 4), 128, 11);
+  std::vector<Answer> serial(queries.size());
+  {
+    ScopedThreadCount scoped{1};
+    TrustService service{expander(300, 4), small_options()};
+    service.start();
+    service.ask_batch(queries, serial);
+    service.stop();
+  }
+  std::vector<Answer> wide(queries.size());
+  {
+    ScopedThreadCount scoped{4};
+    TrustService service{expander(300, 4), small_options()};
+    service.start();
+    service.ask_batch(queries, wide);
+    service.stop();
+  }
+  EXPECT_EQ(std::memcmp(serial.data(), wide.data(),
+                        queries.size() * sizeof(Answer)),
+            0);
+}
+
+TEST_F(ServeTest, ReplaceGraphInvalidatesAndServesNewGraph) {
+  TrustService service{expander(200, 5), small_options()};
+  Query q;
+  q.kind = QueryKind::kCoreness;
+  q.vertex = 3;
+  (void)service.answer(q);
+  EXPECT_EQ(service.cache().size(), 4u);  // all four artifacts resident
+  const std::uint64_t old_fp = service.graph().fingerprint();
+
+  // Oracle: a fresh service over an identical graph, uncached path.
+  TrustService oracle{expander(400, 6), small_options()};
+  const Answer expected = oracle.answer_uncached(q);
+  service.replace_graph(expander(400, 6));
+  EXPECT_EQ(service.cache().size(), 0u);  // old graph's artifacts dropped
+  EXPECT_EQ(counter_value("serve.cache_invalidations"), 4u);
+
+  const Answer after = service.answer(q);  // re-warms against the new graph
+  EXPECT_EQ(service.cache().size(), 4u);
+  EXPECT_EQ(after, expected);
+  EXPECT_NE(service.graph().fingerprint(), old_fp);
+}
+
+TEST_F(ServeTest, StopDrainsEverythingAlreadyQueued) {
+  TrustService::Options options = small_options();
+  options.batch_size = 8;
+  TrustService service{expander(300, 7), std::move(options)};
+  service.start();
+  const std::vector<Query> queries = query_mix(service.graph(), 500, 13);
+  std::vector<Answer> answers(queries.size());
+  std::size_t served = 0;
+  std::thread client{[&] { served = service.ask_batch(queries, answers); }};
+  // ask_batch enqueues the whole span under one lock hold (the 4096-slot
+  // ring never fills on 500 queries), so once the first batch lands every
+  // query is already queued — stop() now must drain all of them.
+  while (counter_value("serve.batches") == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  service.stop();
+  client.join();
+  EXPECT_EQ(served, queries.size());
+  for (const Answer& answer : answers)
+    ASSERT_EQ(answer.status, QueryStatus::kOk);
+}
+
+TEST_F(ServeTest, CancellationReturnsExplicitPartialAnswers) {
+  exec::CancelSource source;
+  TrustService::Options options = small_options();
+  options.token = source.token();
+  TrustService service{expander(300, 8), std::move(options)};
+  service.start();
+
+  const std::vector<Query> queries = query_mix(service.graph(), 64, 17);
+  std::vector<Answer> answers(queries.size());
+  EXPECT_EQ(service.ask_batch(queries, answers), queries.size());
+
+  source.cancel();
+  std::vector<Answer> refused(queries.size());
+  // Post-deadline submissions complete immediately with explicit kCancelled
+  // partials (the exit-75 contract) instead of blocking.
+  EXPECT_EQ(service.ask_batch(queries, refused), 0u);
+  for (const Answer& answer : refused)
+    EXPECT_EQ(answer.status, QueryStatus::kCancelled);
+  EXPECT_GE(counter_value("serve.cancelled"), refused.size());
+  service.stop();
+}
+
+// ----------------------------------------------- hot-path allocation audit ---
+
+class ServeAllocTest : public ServeTest {
+ protected:
+  void SetUp() override {
+    ServeTest::SetUp();
+    was_enabled_ = obs::alloc_stats_enabled();
+  }
+  void TearDown() override {
+    obs::set_alloc_stats_enabled(was_enabled_);
+    ServeTest::TearDown();
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(ServeAllocTest, WarmDirectPathDoesNotAllocatePerQuery) {
+  TrustService service{expander(300, 9), small_options()};
+  const std::vector<Query> queries = query_mix(service.graph(), 4096, 19);
+  std::vector<Answer> answers(queries.size());
+  // Touch every artifact once so lazy init is out of the measured window.
+  service.answer_batch(queries, answers);
+
+  obs::set_alloc_stats_enabled(true);
+  const obs::ResourceUsage before = obs::resource_usage_now();
+  for (const Query& q : queries) answers[0] = service.answer(q);
+  service.answer_batch(queries, answers);
+  const obs::ResourceUsage after = obs::resource_usage_now();
+  obs::set_alloc_stats_enabled(false);
+
+  // 8192 warm queries: the budget tolerates incidental slack (e.g. the
+  // windowed histogram recycling a slot) but is far below one allocation
+  // per query, pinning the fixed-size-answer contract.
+  EXPECT_LT(after.alloc_count - before.alloc_count, 64u);
+}
+
+}  // namespace
+}  // namespace sntrust::serve
