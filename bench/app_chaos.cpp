@@ -1,0 +1,397 @@
+// Chaos harness for the trust-query serving layer (DESIGN.md §16): drives
+// one TrustService through four phases — clean baseline, overload (drain
+// stalls injected at the `serve.queue` fault site), artifact-recompute
+// failure (`serve.artifact` throws; circuit breakers trip and the service
+// answers from stale backups), and graph churn (batched edge inserts/
+// deletes with background refresh) — and reports goodput, shed rate,
+// degraded fraction, and per-phase p99 latency.
+//
+// Invariants checked (the run exits 1 when any fails):
+//   * every NON-degraded answer sampled in any phase is bitwise identical
+//     (memcmp) to the uncached recompute reference on the graph being
+//     served — chaos may degrade or refuse answers, never corrupt them;
+//   * degraded answers are honestly labelled: a positive staleness bound
+//     or a ladder-fallback source, never a fresh-looking payload;
+//   * the artifact-fault phase trips the breakers open
+//     (serve.breaker_opens > 0) and re-closes them after the fault lifts
+//     (serve.breaker_closes > 0) — warned here, asserted by the CI job;
+//   * churn bumps the epoch and converges to fresh answers matching the
+//     uncached reference on the post-churn graph.
+//
+// Everything is a pure function of kBenchSeed (fault plans are
+// deterministic Bernoulli trials keyed by (seed, site, index); see
+// exec/fault.hpp), though phase timings — and therefore exactly *which*
+// queries shed — vary with machine load; only the invariants above are
+// hard-checked. Knobs: SNTRUST_SCALE, SNTRUST_CHAOS_QUERIES (per phase,
+// default 20,000 * scale), SNTRUST_CHAOS_CLIENTS (default 4),
+// SNTRUST_CHAOS_SHED_MS (CoDel target, default 2 ms).
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dynamic/evolution.hpp"
+#include "exec/fault.hpp"
+#include "obs/quantile.hpp"
+#include "report/table.hpp"
+#include "serve/trust_service.hpp"
+#include "serve/zipf.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using namespace sntrust;
+using serve::Answer;
+using serve::Defense;
+using serve::Query;
+using serve::QueryKind;
+using serve::QueryStatus;
+
+std::uint64_t counter_value(const char* name) {
+  const obs::MetricsSnapshot snap = obs::Metrics::instance().snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// The serving bench's query mix (Zipf targets, admission/read blend).
+Query next_query(Rng& rng, const serve::ZipfGenerator& zipf) {
+  Query query;
+  query.vertex = static_cast<VertexId>(zipf(rng));
+  const double mix = rng.uniform_real();
+  if (mix < 0.5) {
+    query.kind = QueryKind::kAdmission;
+    query.defense =
+        rng.bernoulli(0.5) ? Defense::kSybilRank : Defense::kGateKeeper;
+  } else if (mix < 0.7) {
+    query.kind = QueryKind::kTrustScore;
+    query.defense =
+        rng.bernoulli(0.5) ? Defense::kSybilRank : Defense::kGateKeeper;
+  } else if (mix < 0.85) {
+    query.kind = QueryKind::kCoreness;
+  } else {
+    query.kind = QueryKind::kLandmark;
+  }
+  return query;
+}
+
+/// Counters a phase reports as deltas, snapshotted at phase start.
+struct CounterBase {
+  std::uint64_t shed, degraded, deadline;
+  static CounterBase now() {
+    return {counter_value("serve.shed"), counter_value("serve.degraded"),
+            counter_value("serve.deadline_exceeded")};
+  }
+};
+
+struct PhaseReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t goodput = 0;  ///< answers with a computed (kOk) status
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t deadline = 0;
+  double p99_ms = 0.0;
+  double elapsed_ms = 0.0;
+};
+
+/// Closed-loop drive: `clients` threads submit `total` queries in batches
+/// of 64 through the pipelined engine; per-phase p99 comes from resetting
+/// the cumulative serve.query_ms histogram at phase start.
+PhaseReport drive(serve::TrustService& service,
+                  const serve::ZipfGenerator& zipf, std::uint64_t total,
+                  std::uint32_t clients, std::uint64_t phase_salt,
+                  std::uint32_t deadline_ms) {
+  const CounterBase base = CounterBase::now();
+  obs::metrics_quantile("serve.query_ms").reset();
+  std::atomic<std::uint64_t> good{0};
+  std::vector<std::thread> workers;
+  obs::Stopwatch timer;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      constexpr std::uint32_t kClientBatch = 64;
+      Rng rng{stream_seed(bench::kBenchSeed + phase_salt, c)};
+      std::uint64_t budget = total / clients + (c < total % clients ? 1 : 0);
+      std::vector<Query> queries(kClientBatch);
+      std::vector<Answer> answers(kClientBatch);
+      while (budget > 0) {
+        const std::size_t take = budget < kClientBatch
+                                     ? static_cast<std::size_t>(budget)
+                                     : kClientBatch;
+        for (std::size_t i = 0; i < take; ++i) {
+          queries[i] = next_query(rng, zipf);
+          queries[i].deadline_ms = deadline_ms;
+        }
+        good.fetch_add(
+            service.ask_batch(std::span<const Query>{queries.data(), take},
+                              std::span<Answer>{answers.data(), take}),
+            std::memory_order_relaxed);
+        budget -= take;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const CounterBase end = CounterBase::now();
+  PhaseReport report;
+  report.submitted = total;
+  report.goodput = good.load();
+  report.shed = end.shed - base.shed;
+  report.degraded = end.degraded - base.degraded;
+  report.deadline = end.deadline - base.deadline;
+  report.elapsed_ms = timer.elapsed_ms();
+  const obs::QuantileSnapshot lat =
+      obs::metrics_quantile("serve.query_ms").snapshot();
+  report.p99_ms = lat.count > 0 ? lat.value_at_quantile(0.99) : 0.0;
+  return report;
+}
+
+void print_phase(const char* name, const PhaseReport& r) {
+  const double frac =
+      r.submitted == 0 ? 0.0
+                       : static_cast<double>(r.goodput) /
+                             static_cast<double>(r.submitted);
+  std::cout << name << ": " << with_thousands(r.submitted) << " submitted, "
+            << with_thousands(r.goodput) << " served ("
+            << fixed(100.0 * frac, 1) << "%), shed=" << with_thousands(r.shed)
+            << " degraded=" << with_thousands(r.degraded)
+            << " deadline=" << with_thousands(r.deadline)
+            << ", p99=" << fixed(r.p99_ms, 3) << " ms, "
+            << fixed(1000.0 * static_cast<double>(r.goodput) /
+                         (r.elapsed_ms > 0 ? r.elapsed_ms : 1.0),
+                     0)
+            << " qps\n";
+}
+
+/// Byte-checks `count` sampled queries: every non-degraded answer from the
+/// service must memcmp-equal the uncached recompute reference. Degraded
+/// answers must be honestly labelled (positive staleness or a fallback
+/// source) and are exempt from identity. Returns false on any violation.
+bool check_identity(serve::TrustService& service,
+                    const serve::ZipfGenerator& zipf, std::uint64_t salt,
+                    std::uint32_t count, std::uint64_t* degraded_seen) {
+  Rng rng{stream_seed(bench::kBenchSeed, salt)};
+  bool ok = true;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Query query = next_query(rng, zipf);
+    const Answer got = service.answer(query);
+    if (got.status != QueryStatus::kOk) continue;  // refusals are explicit
+    if (got.degraded) {
+      if (degraded_seen != nullptr) ++*degraded_seen;
+      const auto primary_source =
+          query.kind == QueryKind::kCoreness ? serve::AnswerSource::kCoreness
+          : query.kind == QueryKind::kLandmark
+              ? serve::AnswerSource::kLandmark
+          : query.defense == Defense::kGateKeeper
+              ? serve::AnswerSource::kGateKeeper
+              : serve::AnswerSource::kSybilRank;
+      if (got.staleness_ms <= 0.0 && got.source == primary_source) {
+        std::cerr << "error: degraded answer without staleness bound or "
+                     "fallback source (v="
+                  << query.vertex << ")\n";
+        ok = false;
+      }
+      continue;
+    }
+    const Answer reference = service.answer_uncached(query);
+    if (std::memcmp(&got, &reference, sizeof(Answer)) != 0) {
+      std::cerr << "error: non-degraded answer diverged from uncached "
+                   "reference (v="
+                << query.vertex << " kind=" << static_cast<int>(query.kind)
+                << ")\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  return bench::guarded_main([] {
+    bench::Section section{"Application: serving under fire (chaos harness)"};
+    obs::RunReporter::instance().set_config("bench", "app_chaos");
+
+    const std::uint64_t phase_queries = static_cast<std::uint64_t>(
+        env_int("SNTRUST_CHAOS_QUERIES",
+                static_cast<std::int64_t>(20'000 * bench_scale())));
+    const std::uint32_t clients =
+        static_cast<std::uint32_t>(env_int("SNTRUST_CHAOS_CLIENTS", 4));
+    const double shed_ms = env_double("SNTRUST_CHAOS_SHED_MS", 2.0);
+
+    const DatasetSpec& spec = dataset_by_id("epinion");
+    Graph graph = bench::dataset_graph(spec, 0.35);
+    const VertexId n = graph.num_vertices();
+    std::cout << "dataset " << spec.id << ": n=" << with_thousands(n)
+              << " m=" << with_thousands(graph.num_edges()) << ", "
+              << with_thousands(phase_queries) << " queries/phase, "
+              << clients << " clients, shed target " << shed_ms << " ms\n\n";
+
+    serve::TrustService::Options options;
+    options.config.seeds = {0, 1, 2, 3, 4};
+    options.config.gatekeeper.seed = bench::kBenchSeed;
+    options.batch_size = 128;
+    options.queue_capacity = 512;
+    options.resilience.shed_ms = shed_ms;
+    options.resilience.stale_ms = 60'000.0;
+    options.resilience.retries = 2;
+    options.resilience.breaker = serve::BreakerOptions{3, 200};
+    serve::TrustService service{std::move(graph), std::move(options)};
+    service.start();
+    const serve::ZipfGenerator zipf{n, 0.99};
+    obs::RunReporter::instance().set_config("chaos_queries", phase_queries);
+    obs::RunReporter::instance().set_config("chaos_clients", clients);
+
+    bool identical = true;
+    std::uint64_t degraded_sampled = 0;
+
+    // --- Phase 1: clean baseline, no faults. Everything fresh and bitwise
+    // identical to the uncached reference.
+    PhaseReport baseline;
+    {
+      bench::Section phase{"phase 1: baseline (no faults)"};
+      baseline = drive(service, zipf, phase_queries, clients, 101, 0);
+      print_phase("baseline", baseline);
+      identical &= check_identity(service, zipf, 1101, 8, nullptr);
+      if (baseline.shed != 0 || baseline.degraded != 0)
+        std::cout << "note: baseline saw shed/degraded activity (machine "
+                     "under external load?)\n";
+    }
+
+    // --- Phase 2: overload. The serve.queue fault site parks the drain
+    // worker ~8 ms on most batches; queue sojourn blows through the CoDel
+    // target, the controller sheds, and queries carrying a 25 ms deadline
+    // may expire in queue. Goodput drops; the service never blocks.
+    PhaseReport overload;
+    {
+      bench::Section phase{"phase 2: overload (drain stalls injected)"};
+      exec::set_fault_plan({"serve.queue", bench::kBenchSeed, 0.6,
+                            exec::FaultPlan::Action::kSleep, 8});
+      overload = drive(service, zipf, phase_queries, clients, 202, 25);
+      exec::clear_fault_plan();
+      print_phase("overload", overload);
+      if (overload.shed == 0)
+        std::cout << "WARNING: overload phase shed nothing — the stall "
+                     "injection did not outrun this machine\n";
+      // Let the controller observe the drained ring and disengage before
+      // the next phase measures.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // --- Phase 3: artifact-recompute failure. Every recomputation throws;
+    // the cache is invalidated so the service must re-resolve, the breakers
+    // trip open, and answers come from the last-good stale backups,
+    // honestly flagged. Lifting the fault lets the half-open probes
+    // re-close the breakers and answers return to bitwise-fresh.
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_closes = 0;
+    std::uint64_t fault_degraded = 0;
+    {
+      bench::Section phase{"phase 3: artifact faults (breaker + stale)"};
+      const std::uint64_t opens0 = counter_value("serve.breaker_opens");
+      const std::uint64_t closes0 = counter_value("serve.breaker_closes");
+      const std::uint64_t degraded0 = counter_value("serve.degraded");
+      exec::set_fault_plan({"serve.artifact", bench::kBenchSeed, 1.0});
+      service.cache().invalidate_all();
+      const PhaseReport faulted =
+          drive(service, zipf, phase_queries / 4, clients, 303, 0);
+      print_phase("faulted", faulted);
+      identical &= check_identity(service, zipf, 1303, 8, &degraded_sampled);
+      breaker_opens = counter_value("serve.breaker_opens") - opens0;
+      fault_degraded = counter_value("serve.degraded") - degraded0;
+      std::cout << "breaker opens: " << breaker_opens
+                << ", degraded answers: " << with_thousands(fault_degraded)
+                << ", stale hits: " << counter_value("serve.cache_stale_hits")
+                << "\n";
+
+      exec::clear_fault_plan();
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));  // cooldown
+      const PhaseReport recovered =
+          drive(service, zipf, phase_queries / 4, clients, 304, 0);
+      print_phase("recovered", recovered);
+      identical &= check_identity(service, zipf, 1304, 8, nullptr);
+      breaker_closes = counter_value("serve.breaker_closes") - closes0;
+      std::cout << "breaker closes: " << breaker_closes << "\n";
+      if (breaker_opens == 0 || breaker_closes == 0)
+        std::cout << "WARNING: breaker did not complete an open/close "
+                     "cycle\n";
+    }
+
+    // --- Phase 4: churn. A deterministic edge batch (new vertices joining
+    // + random removals) goes through apply_edges; queries keep flowing
+    // against the demoted snapshot while the background refresh recomputes,
+    // then answers must match the uncached reference on the new graph.
+    std::uint64_t churn_epoch = 0;
+    {
+      bench::Section phase{"phase 4: churn (batched edge insert/delete)"};
+      Rng rng{stream_seed(bench::kBenchSeed, 404)};
+      EdgeBatch batch;
+      const VertexId base_n = service.graph().num_vertices();
+      for (VertexId i = 0; i < 32; ++i) {  // growth: new vertices join
+        batch.insertions.push_back(
+            {base_n + i, static_cast<VertexId>(rng.uniform(base_n))});
+      }
+      const std::vector<Edge> existing = service.graph().edges();
+      for (int i = 0; i < 16; ++i) {  // decay: random existing edges drop
+        batch.removals.push_back(existing[rng.uniform(existing.size())]);
+      }
+      std::thread churner{[&] { service.apply_edges(batch); }};
+      // Queries flow while the refresh runs — availability under churn.
+      const PhaseReport churning =
+          drive(service, zipf, phase_queries / 4, clients, 405, 0);
+      churner.join();
+      service.wait_for_refresh();
+      print_phase("churning", churning);
+      churn_epoch = service.epoch();
+      const serve::ZipfGenerator zipf_after{service.graph().num_vertices(),
+                                            0.99};
+      identical &= check_identity(service, zipf_after, 1405, 8, nullptr);
+      std::cout << "epoch after churn: " << churn_epoch << " (graph now n="
+                << with_thousands(service.graph().num_vertices())
+                << " m=" << with_thousands(service.graph().num_edges())
+                << ")\n";
+    }
+
+    service.stop();
+
+    std::cout << "non-degraded answers == uncached reference: "
+              << (identical ? "yes" : "NO — DIVERGED") << "\n\n";
+
+    obs::RunReporter::instance().set_config("chaos_identical", identical);
+    obs::RunReporter::instance().set_config("chaos_shed", overload.shed);
+    obs::RunReporter::instance().set_config("chaos_degraded", fault_degraded);
+    obs::RunReporter::instance().set_config("chaos_breaker_opens",
+                                            breaker_opens);
+    obs::RunReporter::instance().set_config("chaos_breaker_closes",
+                                            breaker_closes);
+    obs::RunReporter::instance().set_config("chaos_epoch", churn_epoch);
+    obs::RunReporter::instance().set_config("baseline_p99_ms",
+                                            baseline.p99_ms);
+    obs::RunReporter::instance().set_config("overload_p99_ms",
+                                            overload.p99_ms);
+    obs::RunReporter::instance().set_config(
+        "baseline_qps", 1000.0 * static_cast<double>(baseline.goodput) /
+                            (baseline.elapsed_ms > 0 ? baseline.elapsed_ms
+                                                     : 1.0));
+
+    Table table{{"metric", "value"}};
+    table.add_row({"baseline p99", fixed(baseline.p99_ms, 3) + " ms"});
+    table.add_row({"overload p99", fixed(overload.p99_ms, 3) + " ms"});
+    table.add_row({"overload shed", with_thousands(overload.shed)});
+    table.add_row({"degraded answers", with_thousands(fault_degraded)});
+    table.add_row({"breaker opens/closes",
+                   std::to_string(breaker_opens) + "/" +
+                       std::to_string(breaker_closes)});
+    table.add_row({"retries", with_thousands(counter_value("serve.retries"))});
+    table.add_row({"stale hits",
+                   with_thousands(counter_value("serve.cache_stale_hits"))});
+    table.print(std::cout);
+    std::cout << "Expected shape: overload converts excess load into "
+                 "explicit sheds while p99 stays bounded (instead of "
+                 "growing with the backlog); artifact faults trip the "
+                 "breakers and the service keeps answering from stale "
+                 "artifacts, honestly flagged; churn refreshes in the "
+                 "background and answers converge back to the uncached "
+                 "reference.\n";
+    return identical ? 0 : 1;
+  });
+}

@@ -204,13 +204,31 @@ int main() {
       warm_qps = 1000.0 * static_cast<double>(total_queries) / ms;
       const obs::QuantileSnapshot lat =
           obs::metrics_quantile("serve.query_ms").snapshot();
+      // Queue sojourn and fan-out service time reported separately, so a
+      // latency regression (or a shed decision under SNTRUST_SERVE_SHED_MS)
+      // is attributable to queueing vs compute at a glance.
+      const obs::QuantileSnapshot sojourn =
+          obs::metrics_quantile("serve.queue_ms").snapshot();
+      const obs::QuantileSnapshot svc =
+          obs::metrics_quantile("serve.service_ms").snapshot();
       std::cout << with_thousands(total_queries) << " queries in "
                 << fixed(ms, 1) << " ms = " << fixed(warm_qps, 0)
                 << " qps\n"
                 << "latency p50=" << fixed(lat.value_at_quantile(0.5), 3)
                 << " ms  p99=" << fixed(lat.value_at_quantile(0.99), 3)
                 << " ms  p999=" << fixed(lat.value_at_quantile(0.999), 3)
+                << " ms\n"
+                << "queue sojourn p50="
+                << fixed(sojourn.value_at_quantile(0.5), 3)
+                << " ms  p99=" << fixed(sojourn.value_at_quantile(0.99), 3)
+                << " ms | batch service p50="
+                << fixed(svc.value_at_quantile(0.5), 3)
+                << " ms  p99=" << fixed(svc.value_at_quantile(0.99), 3)
                 << " ms\n";
+      obs::RunReporter::instance().set_config(
+          "queue_sojourn_p99_ms", sojourn.value_at_quantile(0.99));
+      obs::RunReporter::instance().set_config(
+          "batch_service_p99_ms", svc.value_at_quantile(0.99));
     }
     service.stop();
 

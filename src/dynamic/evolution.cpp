@@ -149,4 +149,33 @@ std::vector<EvolutionPoint> measure_evolution(
   return points;
 }
 
+Graph apply_edge_batch(const Graph& g, const EdgeBatch& batch) {
+  VertexId n = g.num_vertices();
+  for (const Edge& e : batch.insertions) {
+    const VertexId top = e.u > e.v ? e.u : e.v;
+    if (top >= n) n = top + 1;
+  }
+  const auto less = [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  };
+  std::vector<Edge> removals;
+  removals.reserve(batch.removals.size());
+  for (const Edge& e : batch.removals)
+    removals.push_back(e.u <= e.v ? e : Edge{e.v, e.u});
+  std::sort(removals.begin(), removals.end(), less);
+  const auto removed = [&](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return std::binary_search(removals.begin(), removals.end(), Edge{u, v},
+                              less);
+  };
+  GraphBuilder builder{n};
+  builder.reserve(static_cast<std::size_t>(g.num_edges()) +
+                  batch.insertions.size());
+  for (const Edge& e : g.edges())
+    if (!removed(e.u, e.v)) builder.add_edge(e.u, e.v);
+  for (const Edge& e : batch.insertions)
+    if (e.u != e.v && !removed(e.u, e.v)) builder.add_edge(e.u, e.v);
+  return builder.build();
+}
+
 }  // namespace sntrust

@@ -47,6 +47,21 @@ GrowthTrace affiliation_trace(VertexId final_vertices,
                               double groups_per_actor,
                               std::uint64_t seed);
 
+/// A batched structural delta — edges to insert and edges to remove, applied
+/// together. The churn unit the serving layer's `apply_edges` consumes.
+struct EdgeBatch {
+  std::vector<Edge> insertions;
+  std::vector<Edge> removals;
+};
+
+/// The graph after applying `batch` to `g`: the vertex universe grows to
+/// cover every inserted endpoint, removals drop matching existing edges
+/// (absent edges are ignored), and insertions dedup against the survivors.
+/// A removal listed in the same batch as an insertion of the same pair wins.
+/// Self loops are ignored. Returns a freshly built simple CSR graph; `g`
+/// itself is untouched (Graph is immutable).
+Graph apply_edge_batch(const Graph& g, const EdgeBatch& batch);
+
 /// Properties measured per snapshot (a compact subset of PropertyReport —
 /// the quantities whose evolution the open problem asks about).
 struct EvolutionPoint {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "serve/resilience.hpp"
 #include "util/env.hpp"
 
 namespace sntrust::serve {
@@ -22,8 +23,10 @@ ArtifactCache::ArtifactCache(std::size_t capacity)
     : capacity_(resolve_capacity(capacity)),
       hits_(obs::metrics_counter("serve.cache_hits")),
       misses_(obs::metrics_counter("serve.cache_misses")),
+      inserts_(obs::metrics_counter("serve.cache_inserts")),
       evictions_(obs::metrics_counter("serve.cache_evictions")),
-      invalidations_(obs::metrics_counter("serve.cache_invalidations")) {}
+      invalidations_(obs::metrics_counter("serve.cache_invalidations")),
+      stale_hits_(obs::metrics_counter("serve.cache_stale_hits")) {}
 
 std::shared_ptr<const void> ArtifactCache::lookup(const ArtifactKey& key) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -56,7 +59,26 @@ std::shared_ptr<const void> ArtifactCache::insert(
   }
   lru_.push_front(key);
   entries_.emplace(key, Entry{value, lru_.begin()});
+  inserts_.add();
+  // Refresh the last-good backup: any successful insert is by definition the
+  // newest good artifact for this (kind, config) provenance.
+  stale_[{key.kind, key.config_fp}] =
+      StaleArtifact{value, steady_now_ns(), key.graph_fp};
   return value;
+}
+
+std::optional<ArtifactCache::StaleArtifact> ArtifactCache::lookup_stale(
+    ArtifactKind kind, std::uint64_t config_fp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stale_.find({kind, config_fp});
+  if (it == stale_.end()) return std::nullopt;
+  stale_hits_.add();
+  return it->second;
+}
+
+void ArtifactCache::clear_stale() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stale_.clear();
 }
 
 bool ArtifactCache::contains(const ArtifactKey& key) const {

@@ -10,9 +10,19 @@
 //
 // Capacity is bounded (SNTRUST_SERVE_CACHE_CAP entries, LRU eviction) so a
 // service cycling through many configurations — per-tenant seed sets, say —
-// holds only the hot working set. Hits, misses, evictions, and
-// invalidations land in the metrics registry (`serve.cache_*`), which the
-// serving bench reports as its hit rate.
+// holds only the hot working set. Hits, misses, inserts, evictions,
+// invalidations, and stale hits land in the metrics registry
+// (`serve.cache_*`), which the serving bench reports as its hit rate; the
+// counters balance exactly — inserts == evictions + invalidations + size()
+// at any quiescent point — which the invalidation-storm test pins.
+//
+// Degraded mode (DESIGN.md §16): alongside the authoritative entries, the
+// cache keeps one **last-good stale backup** per (kind, config) — updated on
+// every successful insert, *retained* across invalidation and eviction.
+// When recomputation is failing (circuit breaker open) or a churned graph's
+// artifacts are still refreshing, `lookup_stale` hands back that backup
+// with its age so the service can answer degraded-but-honest instead of
+// blocking or erroring (stale-while-revalidate).
 #pragma once
 
 #include <atomic>
@@ -21,6 +31,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <utility>
 
 namespace sntrust::obs {
 class Counter;
@@ -69,6 +81,26 @@ class ArtifactCache {
   /// Hit without side effects (no LRU touch, no counters); tests use this.
   bool contains(const ArtifactKey& key) const;
 
+  /// Last-good backup for one (kind, config) provenance: the artifact most
+  /// recently inserted for it, regardless of graph fingerprint, surviving
+  /// invalidation and eviction. `stored_ns` (steady clock) is the basis of
+  /// the staleness bound degraded answers carry; `graph_fp` records which
+  /// graph epoch it was computed against.
+  struct StaleArtifact {
+    std::shared_ptr<const void> value;
+    std::uint64_t stored_ns = 0;
+    std::uint64_t graph_fp = 0;
+  };
+
+  /// The stale backup for (kind, config_fp), or nullopt when no successful
+  /// computation was ever stored for it. Bumps `serve.cache_stale_hits` on a
+  /// hit — degraded answers are countable from the metrics alone.
+  std::optional<StaleArtifact> lookup_stale(ArtifactKind kind,
+                                            std::uint64_t config_fp) const;
+
+  /// Drops the stale backups too (tests that need a cold slate).
+  void clear_stale();
+
   /// Drops every entry precomputed against `graph_fp`; bumps the version
   /// when anything was dropped. The hook `replace_graph` calls.
   std::size_t invalidate_graph(std::uint64_t graph_fp);
@@ -98,11 +130,15 @@ class ArtifactCache {
   std::size_t capacity_;
   std::map<ArtifactKey, Entry> entries_;
   std::list<ArtifactKey> lru_;  ///< front = most recently used
+  /// Last-good per (kind, config fp); written on insert, never invalidated.
+  std::map<std::pair<ArtifactKind, std::uint64_t>, StaleArtifact> stale_;
   std::atomic<std::uint64_t> version_{1};
   obs::Counter& hits_;
   obs::Counter& misses_;
+  obs::Counter& inserts_;
   obs::Counter& evictions_;
   obs::Counter& invalidations_;
+  obs::Counter& stale_hits_;
 };
 
 }  // namespace sntrust::serve

@@ -1,0 +1,154 @@
+#include "serve/resilience.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace sntrust::serve {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+CircuitBreaker::CircuitBreaker(std::string name, BreakerOptions options)
+    : options_(options),
+      state_gauge_(
+          obs::Metrics::instance().gauge("serve.breaker_state." + name)),
+      opens_(obs::metrics_counter("serve.breaker_opens")),
+      closes_(obs::metrics_counter("serve.breaker_closes")) {
+  if (options_.failure_threshold == 0) options_.failure_threshold = 1;
+}
+
+BreakerState CircuitBreaker::classify(std::uint64_t now_ns) const {
+  if (state_ != BreakerState::kOpen) return state_;
+  const std::uint64_t open_ns = options_.open_ms * 1'000'000ULL;
+  return now_ns - opened_ns_ >= open_ns ? BreakerState::kHalfOpen
+                                        : BreakerState::kOpen;
+}
+
+void CircuitBreaker::publish(std::uint64_t now_ns) {
+  state_gauge_.set(static_cast<double>(classify(now_ns)));
+}
+
+bool CircuitBreaker::allow(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (classify(now_ns)) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      // Exactly one probe: the first caller past the cooldown claims it,
+      // everyone else keeps serving degraded until the probe resolves.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      publish(now_ns);
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool was_broken = state_ == BreakerState::kOpen;
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  if (was_broken) closes_.add();
+  publish(now_ns);
+}
+
+void CircuitBreaker::record_failure(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_failures_;
+  const bool probe_failed =
+      state_ == BreakerState::kOpen && probe_in_flight_;
+  probe_in_flight_ = false;
+  if (probe_failed || consecutive_failures_ >= options_.failure_threshold) {
+    // A failed half-open probe re-opens with a fresh cooldown; a closed
+    // breaker crossing the threshold opens for the first time.
+    if (state_ != BreakerState::kOpen) opens_.add();
+    state_ = BreakerState::kOpen;
+    opened_ns_ = now_ns;
+  }
+  publish(now_ns);
+}
+
+BreakerState CircuitBreaker::state(std::uint64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return classify(now_ns);
+}
+
+std::uint64_t CircuitBreaker::probe_at_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != BreakerState::kOpen) return 0;
+  return opened_ns_ + options_.open_ms * 1'000'000ULL;
+}
+
+std::uint64_t RetryPolicy::backoff_ns(std::uint32_t retry,
+                                      std::uint64_t salt) const {
+  if (retry == 0) return 0;
+  const std::uint64_t base = base_backoff_us * 1000ULL
+                             << (retry - 1 < 20 ? retry - 1 : 20);
+  // Jitter in [0.5, 1.5): a pure function of (salt, retry), so a given
+  // retry schedule replays identically — randomized in space (across
+  // concurrent resolvers with different salts), deterministic in time.
+  const std::uint64_t mixed = stream_seed(salt, retry);
+  const double jitter =
+      0.5 + static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  return static_cast<std::uint64_t>(static_cast<double>(base) * jitter);
+}
+
+LoadShedController::LoadShedController(double target_ms)
+    : target_ms_(target_ms > 0.0 ? target_ms : 0.0),
+      interval_ns_(static_cast<std::uint64_t>(target_ms_ * 4e6)),
+      shedding_gauge_(obs::Metrics::instance().gauge("serve.shedding")) {}
+
+void LoadShedController::publish(bool shedding) {
+  shedding_.store(shedding, std::memory_order_relaxed);
+  shedding_gauge_.set(shedding ? 1.0 : 0.0);
+}
+
+void LoadShedController::observe_sojourn(double sojourn_ms,
+                                         std::uint64_t now_ns) {
+  if (!enabled()) return;
+  if (sojourn_ms < target_ms_) {
+    // CoDel's exit rule: one below-target sojourn proves the queue drained
+    // past the standing backlog — stop shedding at once.
+    above_ = false;
+    if (shedding()) publish(false);
+    return;
+  }
+  if (!above_) {
+    above_ = true;
+    above_since_ns_ = now_ns;
+    return;
+  }
+  if (!shedding() && now_ns - above_since_ns_ >= interval_ns_) publish(true);
+}
+
+void LoadShedController::force_shed() {
+  // Called from submit threads, so only the atomic flag may be touched; the
+  // above_/above_since_ trend state stays drain-thread-only.
+  if (!enabled()) return;
+  if (!shedding()) publish(true);
+}
+
+ResilienceOptions ResilienceOptions::from_env() {
+  ResilienceOptions options;
+  options.shed_ms = env_double("SNTRUST_SERVE_SHED_MS", 0.0);
+  if (options.shed_ms < 0.0) options.shed_ms = 0.0;
+  options.stale_ms = env_double("SNTRUST_SERVE_STALE_MS", 60'000.0);
+  if (options.stale_ms < 0.0) options.stale_ms = 0.0;
+  const std::int64_t retries = env_int("SNTRUST_SERVE_RETRIES", 2);
+  options.retries =
+      retries < 0 ? 0u : static_cast<std::uint32_t>(retries < 16 ? retries : 16);
+  return options;
+}
+
+}  // namespace sntrust::serve

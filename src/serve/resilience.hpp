@@ -1,0 +1,174 @@
+// Overload control and degraded-mode serving for the trust-query layer
+// (DESIGN.md §16).
+//
+// The serving layer's happy path (§15) assumes unbounded client patience, a
+// frozen graph, and artifact recomputations that always succeed. This module
+// is the defense-in-depth counterpart — the pieces TrustService composes so
+// trust answers stay *available*, with explicit quality labels, when those
+// assumptions break:
+//
+//   * `LoadShedController` — CoDel-style admission control on the MPMC query
+//     ring. The drain loop feeds it the queue sojourn of every popped batch;
+//     once sojourn has stayed above the target (`SNTRUST_SERVE_SHED_MS`) for
+//     a full interval, new submissions are refused with
+//     `QueryStatus::kOverloaded` instead of blocking, and a full ring sheds
+//     immediately (the drain worker may be wedged — waiting on it is how
+//     latency collapses spread). Shedding disengages on the first
+//     below-target sojourn. Target 0 disables shedding entirely and keeps
+//     the original blocking backpressure.
+//   * `CircuitBreaker` — one per artifact kind. Consecutive recomputation
+//     failures (fault-injected via the `serve.artifact` site or real) trip
+//     the breaker open for `open_ms`; while open, resolution skips the
+//     compute entirely and serves the last-good stale artifact or falls down
+//     the degradation ladder. After the cooldown a *single* half-open probe
+//     is admitted; success re-closes the breaker, failure re-opens it.
+//     Transitions land in `serve.breaker_opens` / `serve.breaker_closes`
+//     counters and a per-kind `serve.breaker_state.<kind>` gauge
+//     (0 closed, 1 open, 2 half-open). Time is passed in explicitly so the
+//     state machine is deterministic under test.
+//   * `RetryPolicy` — bounded retries with deterministic jittered
+//     exponential backoff for transient artifact misses
+//     (`SNTRUST_SERVE_RETRIES` retries; the jitter is a splitmix64 function
+//     of (attempt, salt), never wall-clock randomness).
+//
+// `ResilienceOptions::from_env()` bundles the knobs; `TrustService::Options`
+// carries one so embedders can override the environment per service.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace sntrust::obs {
+class Counter;
+class Gauge;
+}  // namespace sntrust::obs
+
+namespace sntrust::serve {
+
+/// Nanoseconds on the steady clock — the time base every resilience decision
+/// (sojourn, breaker cooldown, staleness bound) is made against.
+std::uint64_t steady_now_ns();
+
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,    ///< computes allowed; failures counted
+  kOpen = 1,      ///< computes skipped; serve stale / degrade
+  kHalfOpen = 2,  ///< cooldown elapsed; exactly one probe in flight
+};
+
+struct BreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  std::uint32_t failure_threshold = 3;
+  /// Cooldown before the open breaker admits a half-open probe.
+  std::uint64_t open_ms = 1000;
+};
+
+/// Per-artifact-kind circuit breaker: closed -> open -> half-open -> closed.
+/// All methods take `now_ns` explicitly (tests drive the clock by hand);
+/// thread-safe — resolution is off the per-query hot path, so a mutex is
+/// fine here.
+class CircuitBreaker {
+ public:
+  /// `name` labels the `serve.breaker_state.<name>` gauge; the opens/closes
+  /// counters are shared across breakers (cumulative transition counts).
+  explicit CircuitBreaker(std::string name, BreakerOptions options = {});
+
+  /// True when a compute attempt may proceed: the breaker is closed, or the
+  /// open cooldown has elapsed and this caller claimed the single half-open
+  /// probe slot. A claimed probe MUST be resolved with record_success or
+  /// record_failure.
+  bool allow(std::uint64_t now_ns);
+
+  /// A compute attempt succeeded: reset the failure count, close the
+  /// breaker (completing a half-open probe counts a `serve.breaker_closes`).
+  void record_success(std::uint64_t now_ns);
+
+  /// A compute attempt failed: count it, trip open at the threshold, and
+  /// re-open immediately when the failure was the half-open probe.
+  void record_failure(std::uint64_t now_ns);
+
+  BreakerState state(std::uint64_t now_ns) const;
+  /// Steady-clock ns at which an open breaker will admit its probe; 0 when
+  /// not open (the resolver's re-probe scheduling hint).
+  std::uint64_t probe_at_ns() const;
+
+ private:
+  BreakerState classify(std::uint64_t now_ns) const;
+  void publish(std::uint64_t now_ns);
+
+  mutable std::mutex mutex_;
+  BreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t opened_ns_ = 0;
+  bool probe_in_flight_ = false;
+  obs::Gauge& state_gauge_;
+  obs::Counter& opens_;
+  obs::Counter& closes_;
+};
+
+/// Bounded retry with deterministic jittered exponential backoff.
+struct RetryPolicy {
+  /// Retries after the first attempt (total attempts = retries + 1).
+  std::uint32_t retries = 2;
+  /// Backoff before retry k (1-based) is base * 2^(k-1) * jitter, where
+  /// jitter in [0.5, 1.5) is a pure function of (salt, k).
+  std::uint64_t base_backoff_us = 500;
+
+  std::uint64_t backoff_ns(std::uint32_t retry, std::uint64_t salt) const;
+};
+
+/// CoDel-style shed decision: engage when queue sojourn has stayed above
+/// `target_ms` for one full interval (4x the target), disengage on the first
+/// below-target observation. `observe_sojourn` is called only by the drain
+/// thread; `shedding()` is a relaxed atomic read on the submit path.
+class LoadShedController {
+ public:
+  explicit LoadShedController(double target_ms);
+
+  bool enabled() const { return target_ms_ > 0.0; }
+  double target_ms() const { return target_ms_; }
+
+  /// Drain-thread only: sojourn of the oldest request in the popped batch.
+  void observe_sojourn(double sojourn_ms, std::uint64_t now_ns);
+
+  /// Submit path: true while the controller (or a full-ring overflow, which
+  /// calls `force_shed`) says new arrivals should be refused.
+  bool shedding() const {
+    return shedding_.load(std::memory_order_relaxed);
+  }
+
+  /// Overflow path: the ring is full, shed immediately regardless of the
+  /// sojourn trend (the drain worker may be parked and never observing).
+  void force_shed();
+
+ private:
+  void publish(bool shedding);
+
+  double target_ms_;
+  std::uint64_t interval_ns_;
+  std::atomic<bool> shedding_{false};
+  // Drain-thread-only trend state; no synchronization needed.
+  bool above_ = false;
+  std::uint64_t above_since_ns_ = 0;
+  obs::Gauge& shedding_gauge_;
+};
+
+/// The serving layer's resilience knobs, env-resolved once per service.
+struct ResilienceOptions {
+  /// CoDel target sojourn (ms); 0 disables shedding (blocking backpressure).
+  double shed_ms = 0.0;
+  /// Max age (ms) a stale artifact may be served at; 0 disables stale
+  /// serving (unavailable kinds fall straight down the ladder).
+  double stale_ms = 60'000.0;
+  /// Transient-failure retries per resolution attempt.
+  std::uint32_t retries = 2;
+  BreakerOptions breaker;
+
+  /// SNTRUST_SERVE_SHED_MS / SNTRUST_SERVE_STALE_MS / SNTRUST_SERVE_RETRIES
+  /// (breaker knobs keep their defaults; embedders override in code).
+  static ResilienceOptions from_env();
+};
+
+}  // namespace sntrust::serve

@@ -1,4 +1,4 @@
-// Long-lived in-process trust-query service (DESIGN.md §15).
+// Long-lived in-process trust-query service (DESIGN.md §15, §16).
 //
 // A `TrustService` loads a graph once (any format `read_graph_auto`
 // sniffs, including zero-copy mmap snapshots), precomputes the per-defense
@@ -16,14 +16,42 @@
 //     them in configurable batches (SNTRUST_SERVE_BATCH) fanned out on the
 //     src/parallel pool; clients block on a per-batch ticket. Per-query
 //     latency (enqueue -> completion) lands in the `serve.query_ms`
-//     quantile histograms, batch occupancy in `serve.batch_occupancy`.
+//     quantile histograms, queue sojourn separately in `serve.queue_ms`,
+//     per-batch fan-out time in `serve.service_ms`, batch occupancy in
+//     `serve.batch_occupancy`.
 //   * `answer_uncached()`: the naive recompute-per-query reference the
 //     serving bench measures the cache against (and the identity oracle the
-//     tests pin batched answers to).
+//     tests and the chaos harness pin non-degraded answers to).
 //
 // Answers are pure functions of (artifacts, query) and artifacts are built
 // by the library's deterministic kernels, so every path agrees bitwise at
-// any thread count, batch size, and arrival order.
+// any thread count, batch size, and arrival order — for answers that are
+// not *degraded* (below).
+//
+// Serving under fire (DESIGN.md §16). Three failure regimes are handled
+// explicitly instead of by blocking or crashing:
+//
+//   * **Overload.** With `SNTRUST_SERVE_SHED_MS` set, a CoDel-style
+//     controller watches queue sojourn; sustained overload (or a full ring)
+//     flips the submit path from blocking backpressure to immediate refusal
+//     with `QueryStatus::kOverloaded`. Queries may carry a `deadline_ms`
+//     bound on queue wait; a request popped too late completes with
+//     `kDeadlineExceeded` without being computed.
+//   * **Recompute failure.** Artifact recomputation runs behind a per-kind
+//     circuit breaker with bounded jittered retries (`serve.artifact` fault
+//     site). While a kind is unavailable the service answers from the
+//     last-good *stale* artifact (age-bounded by `SNTRUST_SERVE_STALE_MS`)
+//     or falls down a degradation ladder (SybilRank <-> GateKeeper ->
+//     coreness; landmark -> coreness). Such answers carry `degraded = true`,
+//     the `source` actually used, and a `staleness_ms` bound — degraded
+//     answers are honest about their provenance and are the only answers
+//     exempt from the bitwise-identity contract.
+//   * **Churn.** `apply_edges()` applies a batched edge insert/delete to the
+//     served graph. In-flight queries keep answering against the previous
+//     epoch's artifacts (demoted to stale) while a single-flight background
+//     refresh recomputes against the new graph and installs atomically —
+//     the epoch counter guarantees a refresh never installs over a newer
+//     graph.
 //
 // Shutdown drains: `stop()` serves everything already queued before the
 // drain thread exits. Cancellation (process signal/deadline or the token in
@@ -33,6 +61,7 @@
 // status, so closed-loop clients always unblock with explicit partials.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -48,6 +77,11 @@
 #include "graph/graph.hpp"
 #include "serve/artifact_cache.hpp"
 #include "serve/artifacts.hpp"
+#include "serve/resilience.hpp"
+
+namespace sntrust {
+struct EdgeBatch;  // dynamic/evolution.hpp
+}
 
 namespace sntrust::obs {
 class Counter;
@@ -70,8 +104,19 @@ enum class QueryKind : std::uint8_t {
 
 enum class QueryStatus : std::uint8_t {
   kOk = 0,
-  kInvalidVertex = 1,  ///< vertex >= n
-  kCancelled = 2,      ///< refused/unserved due to cancellation or deadline
+  kInvalidVertex = 1,      ///< vertex >= n
+  kCancelled = 2,          ///< refused/unserved due to cancellation
+  kOverloaded = 3,         ///< shed at admission, or no artifact available
+  kDeadlineExceeded = 4,   ///< queue wait exceeded the query's deadline_ms
+};
+
+/// The artifact kind an answer was actually computed from. Equal to the
+/// query's primary kind unless the answer is degraded (ladder fallback).
+enum class AnswerSource : std::uint8_t {
+  kSybilRank = 0,
+  kGateKeeper = 1,
+  kCoreness = 2,
+  kLandmark = 3,
 };
 
 /// Fixed-size request. Trivially copyable so the request ring never touches
@@ -80,29 +125,46 @@ struct Query {
   QueryKind kind = QueryKind::kTrustScore;
   Defense defense = Defense::kSybilRank;
   VertexId vertex = 0;
+  /// Max queue wait (ms) on the pipelined path; 0 = no deadline. A request
+  /// still queued past its deadline completes with kDeadlineExceeded
+  /// instead of being computed. The direct path ignores it (no queue).
+  std::uint32_t deadline_ms = 0;
 };
 
 /// Fixed-size answer — the admission hot path allocates nothing per query.
-/// Field meaning by kind:
-///   kAdmission/kTrustScore + kSybilRank: value = degree-normalized trust,
-///     percentile = 1 - rank/n (1 = most trusted), admitted = rank cutoff;
-///   kAdmission/kTrustScore + kGateKeeper: value = admitting distributers,
-///     percentile = value / num_distributers, admitted = vote threshold;
-///   kCoreness: value = coreness, percentile = coreness ECDF at v;
+/// Field meaning by source:
+///   kSybilRank: value = degree-normalized trust, percentile = 1 - rank/n
+///     (1 = most trusted), admitted = rank cutoff;
+///   kGateKeeper: value = admitting distributers, percentile =
+///     value / num_distributers, admitted = vote threshold;
+///   kCoreness: value = coreness, percentile = coreness ECDF at v
+///     (admitted = top-accept_fraction of the ECDF when standing in for an
+///     admission defense);
 ///   kLandmark: value = walk probability at v, percentile = value relative
 ///     to the stationary mass deg(v)/2m (>1 = walk favours v).
+///
+/// `degraded` marks answers served from a stale artifact or a ladder
+/// fallback; only then is `staleness_ms` nonzero (an upper bound on the
+/// artifact's age) or `source` different from the query's primary kind.
+/// Non-degraded answers always have staleness_ms == 0 and source == primary,
+/// so the memcmp bitwise-identity contract covers every non-degraded answer.
 struct Answer {
   QueryStatus status = QueryStatus::kCancelled;
   bool admitted = false;
+  bool degraded = false;
+  AnswerSource source = AnswerSource::kSybilRank;
   /// Explicit (zeroed) padding so the struct has no indeterminate bytes and
   /// the bitwise-identity contract can be checked with memcmp.
-  std::uint8_t reserved[6] = {};
+  std::uint8_t reserved[4] = {};
   double value = 0.0;
   double percentile = 0.0;
+  /// Upper bound on the age (ms) of the artifact behind a degraded answer;
+  /// 0 for fresh (non-degraded) answers.
+  double staleness_ms = 0.0;
 
   friend bool operator==(const Answer&, const Answer&) = default;
 };
-static_assert(sizeof(Answer) == 24, "Answer must carry no implicit padding");
+static_assert(sizeof(Answer) == 32, "Answer must carry no implicit padding");
 
 class TrustService {
  public:
@@ -117,6 +179,9 @@ class TrustService {
     /// Warm every artifact during construction (a cold service warms lazily
     /// on first touch instead).
     bool precompute = true;
+    /// Overload/degradation knobs; defaults read SNTRUST_SERVE_SHED_MS,
+    /// SNTRUST_SERVE_STALE_MS, SNTRUST_SERVE_RETRIES.
+    ResilienceOptions resilience = ResilienceOptions::from_env();
     /// Cancellation observed by the drain loop *in addition to* the process
     /// state (signals, SNTRUST_DEADLINE_MS).
     exec::CancelToken token;
@@ -136,6 +201,9 @@ class TrustService {
   const ServiceConfig& config() const noexcept { return options_.config; }
   ArtifactCache& cache() noexcept { return cache_; }
   std::uint32_t batch_size() const noexcept { return batch_size_; }
+  const ResilienceOptions& resilience() const noexcept {
+    return options_.resilience;
+  }
 
   /// Ensures all four artifacts are resident (the constructor does this
   /// unless Options::precompute was false).
@@ -146,38 +214,77 @@ class TrustService {
   void answer_batch(std::span<const Query> queries, std::span<Answer> answers);
 
   /// Naive recompute-per-query reference: rebuilds the artifact the query
-  /// needs from scratch, bypassing the cache. The serving bench's "before".
+  /// needs from scratch, bypassing the cache. The serving bench's "before"
+  /// and the chaos harness's identity oracle.
   Answer answer_uncached(const Query& query) const;
 
   /// Starts the drain thread (idempotent).
   void start();
   /// Draining shutdown: everything already queued is served, then the drain
-  /// thread exits (idempotent).
+  /// thread exits (idempotent). Never blocks on clients: shedding/refusal
+  /// paths complete their tickets without the drain thread's help.
   void stop();
   bool running() const;
 
   /// Blocking pipelined query. Falls back to the direct path when the
-  /// service is not running; returns kCancelled after cancellation.
+  /// service is not running; returns kCancelled after cancellation and
+  /// kOverloaded while the shed controller refuses admission.
   Answer ask(const Query& query);
   /// Enqueues the whole span under one completion ticket; returns the
-  /// number of answers with status != kCancelled (the partial-result count
-  /// under a deadline).
+  /// number of answers whose status is none of kCancelled / kOverloaded /
+  /// kDeadlineExceeded (the goodput under overload or a deadline).
   std::size_t ask_batch(std::span<const Query> queries,
                         std::span<Answer> answers);
 
-  /// Swaps the served graph. Artifacts keyed by the old graph fingerprint
-  /// are dropped from the cache; the next query warms against `graph`.
+  /// Swaps the served graph wholesale. Artifacts keyed by the old graph
+  /// fingerprint are dropped from the cache; the next query warms against
+  /// `graph` inline (no stale serving — this is the cold-swap path).
   void replace_graph(Graph graph);
 
+  /// Applies a batched edge insert/delete to the served graph (churn-safe
+  /// path). Bumps the graph epoch, demotes the resolved artifacts to stale
+  /// — in-flight and subsequent queries keep answering (degraded) against
+  /// the pre-churn snapshot — and kicks a single-flight background refresh
+  /// that recomputes against the new graph and installs fresh artifacts
+  /// unless the epoch moved again. Throws std::invalid_argument when the
+  /// result would have no edges.
+  void apply_edges(const EdgeBatch& batch);
+
+  /// Monotonic graph epoch; bumped by apply_edges and replace_graph.
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  bool refresh_in_flight() const;
+  /// Blocks until no background refresh is running (tests, benches).
+  void wait_for_refresh();
+
  private:
+  /// One resolved artifact: the pointer plus its provenance. `fresh` means
+  /// computed against the current graph under a breaker-closed resolve;
+  /// stale slots (breaker open, or demoted by churn) still answer, degraded.
+  template <typename T>
+  struct ArtifactSlot {
+    std::shared_ptr<const T> artifact;
+    bool fresh = false;
+    std::uint64_t stored_ns = 0;
+    std::uint64_t graph_fp = 0;
+  };
+
   /// Artifact pointers resolved against one (config, graph, cache-version)
   /// snapshot; refreshed when the cache version moves.
   struct Resolved {
-    std::shared_ptr<const SybilRankArtifact> sybilrank;
-    std::shared_ptr<const GateKeeperArtifact> gatekeeper;
-    std::shared_ptr<const CorenessArtifact> coreness;
-    std::shared_ptr<const LandmarkArtifact> landmark;
+    ArtifactSlot<SybilRankArtifact> sybilrank;
+    ArtifactSlot<GateKeeperArtifact> gatekeeper;
+    ArtifactSlot<CorenessArtifact> coreness;
+    ArtifactSlot<LandmarkArtifact> landmark;
     std::uint64_t cache_version = 0;
+    /// A resolve ran to completion (possibly yielding only stale/empty
+    /// slots): the sentinel the answer paths loop on, so a service whose
+    /// every kind is unavailable answers kOverloaded instead of spinning.
+    bool attempted = false;
+    /// All four slots fresh — the common case, checked first on the hot
+    /// path so complete services never read the clock.
+    bool complete = false;
   };
 
   struct Request {
@@ -188,20 +295,51 @@ class TrustService {
   };
 
   void ensure_resolved();
+  bool resolved_ready() const;  ///< under resolved_mutex_ (either mode)
   void resolve_locked();
+  template <typename T, typename Compute>
+  ArtifactSlot<T> resolve_slot(ArtifactKind kind, std::uint64_t config_fp,
+                               std::uint64_t graph_fp, Compute&& compute);
   Answer answer_resolved(const Resolved& resolved, const Query& query) const;
+  Answer answer_degradable(const Resolved& resolved, const Query& query,
+                           ArtifactKind primary) const;
   void drain_loop();
   void serve_batch(std::vector<Request>& batch);
   bool cancelled() const;
+  CircuitBreaker& breaker(ArtifactKind kind) {
+    return breakers_[static_cast<std::size_t>(kind)];
+  }
+  void start_refresh_locked();  ///< under refresh_mutex_
+  void refresh_worker();
 
   Graph graph_;
   Options options_;
   std::uint32_t batch_size_;
   std::uint32_t queue_capacity_;
   ArtifactCache cache_;
+  std::uint64_t graph_fp_ = 0;  ///< cached graph_.fingerprint()
 
   mutable std::shared_mutex resolved_mutex_;
   Resolved resolved_;
+  /// Steady-clock ns before which an incomplete resolve should not be
+  /// retried (the earliest open breaker probe); 0 = retry on next query.
+  std::atomic<std::uint64_t> next_probe_ns_{0};
+
+  // Resilience: per-kind breakers share the transition counters; retry
+  // jitter is deterministic per (kind, attempt).
+  std::array<CircuitBreaker, 4> breakers_;
+  RetryPolicy retry_policy_;
+  LoadShedController shed_;
+  std::atomic<std::uint64_t> artifact_fault_seq_{0};
+  std::atomic<std::uint64_t> queue_fault_seq_{0};
+
+  // Churn: epoch-versioned graph with single-flight background refresh.
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::mutex refresh_mutex_;
+  std::condition_variable refresh_cv_;
+  std::atomic<bool> refresh_running_{false};  ///< writes under refresh_mutex_
+  bool refresh_again_ = false;                ///< under refresh_mutex_
+  std::thread refresh_thread_;
 
   // Bounded MPMC request ring.
   mutable std::mutex queue_mutex_;
@@ -218,9 +356,16 @@ class TrustService {
   // Cached metric handles: the per-query hot path must not look up names.
   obs::QuantileHistogram& query_ms_;
   obs::WindowedQuantileHistogram& query_ms_window_;
+  obs::QuantileHistogram& queue_ms_;
+  obs::QuantileHistogram& service_ms_;
   obs::Histogram& batch_occupancy_;
   obs::Counter& queries_served_;
   obs::Counter& queries_cancelled_;
+  obs::Counter& queries_shed_;
+  obs::Counter& queries_degraded_;
+  obs::Counter& queries_deadline_;
+  obs::Counter& queries_unavailable_;
+  obs::Counter& retries_;
   obs::Counter& batches_;
   obs::Gauge& queue_depth_;
   /// Same registry counter the ArtifactCache bumps on lookup hits: a

@@ -24,11 +24,15 @@
 // SNTRUST_SERVE_CACHE_CAP apply); answers are bitwise identical to the
 // direct and uncached paths. SNTRUST_DEADLINE_MS and SIGINT cancel
 // cooperatively: unserved queries report status=cancelled and the process
-// exits 75 with whatever completed.
+// exits 75 with whatever completed. The same partial taxonomy covers the
+// resilience layer: answers shed under overload print status=overloaded,
+// queue-deadline misses print status=deadline_exceeded (both exit 75), and
+// degraded answers carry ` degraded=yes source=<kind> staleness_ms=<age>`
+// (see SNTRUST_SERVE_SHED_MS / SNTRUST_SERVE_STALE_MS / README).
 //
 // Exit codes: 0 success, 64 usage error, 65 bad input (unreadable graph,
-// out-of-range vertex/seed, unknown command), 75 cancelled/partial,
-// 1 internal error.
+// out-of-range vertex/seed, unknown command), 75 cancelled/overloaded/
+// deadline partial, 1 internal error.
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -87,11 +91,32 @@ Defense parse_defense(const std::string& name) {
                               " (want sybilrank|gatekeeper)");
 }
 
-/// Prints one answer line; returns false for a cancelled (unserved) answer.
+const char* source_name(serve::AnswerSource source) {
+  switch (source) {
+    case serve::AnswerSource::kSybilRank:
+      return "sybilrank";
+    case serve::AnswerSource::kGateKeeper:
+      return "gatekeeper";
+    case serve::AnswerSource::kCoreness:
+      return "coreness";
+    case serve::AnswerSource::kLandmark:
+      return "landmark";
+  }
+  return "?";
+}
+
+/// Prints one answer line; returns false for a refused (unserved) answer —
+/// cancelled, shed, or past its deadline — which maps to exit 75.
 bool print_answer(const Query& query, const Answer& answer) {
   switch (answer.status) {
     case QueryStatus::kCancelled:
       std::cout << "v=" << query.vertex << " status=cancelled\n";
+      return false;
+    case QueryStatus::kOverloaded:
+      std::cout << "v=" << query.vertex << " status=overloaded\n";
+      return false;
+    case QueryStatus::kDeadlineExceeded:
+      std::cout << "v=" << query.vertex << " status=deadline_exceeded\n";
       return false;
     case QueryStatus::kInvalidVertex:
       throw std::invalid_argument("vertex out of range: " +
@@ -123,6 +148,9 @@ bool print_answer(const Query& query, const Answer& answer) {
                 << " vs_stationary=" << fixed(answer.percentile, 3) << "x";
       break;
   }
+  if (answer.degraded)
+    std::cout << " degraded=yes source=" << source_name(answer.source)
+              << " staleness_ms=" << fixed(answer.staleness_ms, 1);
   std::cout << "\n";
   return true;
 }
@@ -145,8 +173,15 @@ void print_stats(serve::TrustService& service) {
             << "\n"
             << "served: queries=" << counter("serve.queries")
             << " cancelled=" << counter("serve.cancelled")
+            << " shed=" << counter("serve.shed")
+            << " degraded=" << counter("serve.degraded")
+            << " deadline_exceeded=" << counter("serve.deadline_exceeded")
             << " batches=" << counter("serve.batches")
-            << " batch_size=" << service.batch_size() << "\n";
+            << " batch_size=" << service.batch_size() << "\n"
+            << "resilience: breaker_opens=" << counter("serve.breaker_opens")
+            << " breaker_closes=" << counter("serve.breaker_closes")
+            << " retries=" << counter("serve.retries")
+            << " stale_hits=" << counter("serve.cache_stale_hits") << "\n";
 }
 
 /// Executes one command (a token list); returns false once cancelled.
@@ -204,7 +239,8 @@ int serve_commands(Graph graph, const std::vector<VertexId>& seeds,
   }
   service.stop();
   if (cancelled) {
-    std::cerr << "interrupted: remaining queries cancelled\n";
+    std::cerr << "partial: some queries were refused "
+                 "(cancelled/overloaded/deadline)\n";
     return 75;  // EX_TEMPFAIL-style partial, matching the bench taxonomy
   }
   return 0;
